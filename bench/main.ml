@@ -1,0 +1,210 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every experiment table (E1-E16, A1-A3) — the paper's
+   "evaluation" as defined in DESIGN.md. Part 2 runs bechamel
+   micro-benchmarks of the framework's hot kernels: the allocator, the
+   router, the fabric's event step, the monitor's data path and the
+   manager's compile/schedule/arbitrate decisions (the rigorous version
+   of E10's table). *)
+
+open Bechamel
+open Toolkit
+module T = Ihnet_topology
+module E = Ihnet_engine
+module U = Ihnet_util
+module Mon = Ihnet_monitor
+module R = Ihnet_manager
+
+(* {1 Micro-benchmark subjects} *)
+
+let dev topo name =
+  match T.Topology.device_by_name topo name with
+  | Some d -> d.T.Device.id
+  | None -> failwith ("bench: no device " ^ name)
+
+(* fairshare: n elastic flows over a shared 3-resource path *)
+let bench_fairshare n =
+  let capacities = [| 100.0; 80.0; 60.0 |] in
+  let demands =
+    Array.init n (fun i ->
+        {
+          E.Fairshare.weight = 1.0 +. float_of_int (i mod 3);
+          floor = 0.5;
+          cap = (if i mod 4 = 0 then 10.0 else infinity);
+          usage = [ (0, 1.0); (1, 1.1); (2, 1.0) ];
+        })
+  in
+  Test.make
+    ~name:(Printf.sprintf "allocate-%d-flows" n)
+    (Staged.stage (fun () -> Sys.opaque_identity (E.Fairshare.allocate ~capacities demands)))
+
+let bench_routing () =
+  let topo = T.Builder.dgx_like () in
+  let gpu0 = dev topo "gpu0" and nic7 = dev topo "nic7" in
+  [
+    Test.make ~name:"dijkstra-dgx"
+      (Staged.stage (fun () -> Sys.opaque_identity (T.Routing.shortest_path topo gpu0 nic7)));
+    Test.make ~name:"yen-k4-dgx"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (T.Routing.k_shortest_paths ~k:4 topo gpu0 nic7)));
+  ]
+
+let bench_fabric () =
+  let topo = T.Builder.two_socket_server () in
+  let sim = E.Sim.create () in
+  let fab = E.Fabric.create sim topo in
+  let path =
+    Option.get (T.Routing.shortest_path topo (dev topo "nic0") (dev topo "dimm0.0.0"))
+  in
+  (* steady background so reallocation has real work *)
+  for i = 1 to 8 do
+    ignore
+      (E.Fabric.start_flow fab ~tenant:i ~cap:(1e9 *. float_of_int i) ~path
+         ~size:E.Flow.Unbounded ())
+  done;
+  [
+    Test.make ~name:"start-stop-flow"
+      (Staged.stage (fun () ->
+           let f = E.Fabric.start_flow fab ~tenant:99 ~path ~size:E.Flow.Unbounded () in
+           E.Fabric.stop_flow fab f));
+    Test.make ~name:"path-latency"
+      (Staged.stage (fun () -> Sys.opaque_identity (E.Fabric.path_latency fab path)));
+  ]
+
+let bench_monitor () =
+  let topo = T.Builder.two_socket_server () in
+  let sim = E.Sim.create () in
+  let fab = E.Fabric.create sim topo in
+  let counter = Mon.Counter.create fab ~fidelity:Mon.Counter.Oracle in
+  let telemetry = Mon.Telemetry.create () in
+  let hist = U.Histogram.create () in
+  let i = ref 0 in
+  [
+    Test.make ~name:"counter-read"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Mon.Counter.read counter 0 T.Link.Fwd ~tenants:[ 1; 2; 3 ])));
+    Test.make ~name:"telemetry-record"
+      (Staged.stage (fun () ->
+           incr i;
+           Mon.Telemetry.record telemetry ~series:"bench" ~at:(float_of_int !i) 0.5));
+    Test.make ~name:"histogram-add"
+      (Staged.stage (fun () ->
+           incr i;
+           U.Histogram.add hist (float_of_int (1 + (!i land 0xffff)))));
+  ]
+
+let bench_manager () =
+  (* the rigorous E10: compile / schedule / arbitrate on a large host *)
+  let topo = T.Builder.scaled ~sockets:4 ~switches_per_socket:4 ~devices_per_switch:8 () in
+  let sim = E.Sim.create () in
+  let fab = E.Fabric.create sim topo in
+  let intent = R.Intent.pipe ~tenant:1 ~src:"nic0" ~dst:"socket0" ~rate:1e9 in
+  let reqs = Result.get_ok (R.Interpreter.compile topo intent) in
+  let mgr = R.Manager.create fab () in
+  (match R.Manager.submit mgr intent with Ok _ -> () | Error e -> failwith e);
+  let path =
+    Option.get (T.Routing.shortest_path topo (dev topo "nic0") (dev topo "socket0"))
+  in
+  let flows =
+    List.init 8 (fun _ -> E.Fabric.start_flow fab ~tenant:1 ~path ~size:E.Flow.Unbounded ())
+  in
+  List.iter (fun f -> ignore (R.Manager.attach mgr f)) flows;
+  [
+    Test.make ~name:"interpret-intent"
+      (Staged.stage (fun () -> Sys.opaque_identity (R.Interpreter.compile topo intent)));
+    Test.make ~name:"schedule-placement"
+      (Staged.stage (fun () ->
+           let sched = R.Scheduler.create topo () in
+           Sys.opaque_identity (R.Scheduler.place_all sched reqs)));
+    Test.make ~name:"arbitrate-refresh-8-flows"
+      (Staged.stage (fun () -> R.Arbiter.refresh (R.Manager.arbiter mgr)));
+  ]
+
+let bench_extensions () =
+  let topo = T.Builder.two_socket_server () in
+  let series = List.init 24 (fun i -> Printf.sprintf "s%d" i) in
+  let mm = Mon.Multimodal.create ~warmup:8 ~series () in
+  let vec = Array.make 24 1.0 in
+  let i = ref 0 in
+  for _ = 1 to 16 do
+    incr i;
+    ignore (Mon.Multimodal.observe mm ~at:(float_of_int !i) vec)
+  done;
+  let gpus = List.init 8 (fun g -> Printf.sprintf "gpu%d" g) in
+  let dgx = T.Builder.dgx_like () in
+  [
+    Test.make ~name:"multimodal-observe-24dims"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore (Mon.Multimodal.observe mm ~at:(float_of_int !i) vec)));
+    Test.make ~name:"spec-parse-example"
+      (Staged.stage (fun () -> Sys.opaque_identity (T.Spec.parse T.Spec.example)));
+    Test.make ~name:"ring-cost-8gpus"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Ihnet_workload.Allreduce.ring_cost dgx gpus)));
+    Test.make ~name:"misconfig-check"
+      (Staged.stage (fun () -> Sys.opaque_identity (Mon.Anomaly.check_configuration topo)));
+  ]
+
+let bench_sim () =
+  [
+    Test.make ~name:"schedule-and-step"
+      (Staged.stage
+         (let sim = E.Sim.create () in
+          fun () ->
+            E.Sim.schedule sim ~after:1.0 (fun _ -> ());
+            ignore (E.Sim.step sim)));
+  ]
+
+(* {1 Runner} *)
+
+let run_tests tests =
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  List.concat_map
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.fold
+        (fun name ols_result acc ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (x :: _) -> x
+            | Some [] | None -> nan
+          in
+          let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols_result) in
+          (name, ns, r2) :: acc)
+        analyzed [])
+    tests
+
+let print_bench_table rows =
+  let table =
+    U.Table.create ~title:"micro-benchmarks (bechamel, monotonic clock)"
+      ~columns:[ "benchmark"; "time/op"; "r^2" ]
+  in
+  List.iter
+    (fun (name, ns, r2) ->
+      U.Table.add_row table
+        [ name; Format.asprintf "%a" U.Units.pp_time ns; Printf.sprintf "%.3f" r2 ])
+    (List.sort compare rows);
+  U.Table.print table
+
+let () =
+  print_endline "=== ihnet benchmark harness ===";
+  print_endline "--- part 1: experiment tables (one per table/figure) ---";
+  ignore (Ihnet_experiments.Registry.run_all ());
+  print_endline "\n--- part 2: micro-benchmarks ---";
+  let groups =
+    [
+      Test.make_grouped ~name:"fairshare" [ bench_fairshare 4; bench_fairshare 32; bench_fairshare 256 ];
+      Test.make_grouped ~name:"routing" (bench_routing ());
+      Test.make_grouped ~name:"fabric" (bench_fabric ());
+      Test.make_grouped ~name:"monitor" (bench_monitor ());
+      Test.make_grouped ~name:"manager" (bench_manager ());
+      Test.make_grouped ~name:"sim" (bench_sim ());
+      Test.make_grouped ~name:"ext" (bench_extensions ());
+    ]
+  in
+  let rows = run_tests groups in
+  print_bench_table rows

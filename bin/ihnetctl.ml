@@ -1,0 +1,520 @@
+(* ihnetctl — operator CLI for the simulated manageable intra-host
+   network: topology inspection, ihping/ihtrace/ihperf/ihdump
+   diagnostics, configuration checking and heartbeat runs.
+
+   Examples:
+     dune exec bin/ihnetctl.exe -- topo --preset dgx
+     dune exec bin/ihnetctl.exe -- ping nic0 dimm0.0.0 -c 20
+     dune exec bin/ihnetctl.exe -- trace ext gpu0 --load
+     dune exec bin/ihnetctl.exe -- perf gpu0 ssd0
+     dune exec bin/ihnetctl.exe -- check --ddio off --mps 128
+     dune exec bin/ihnetctl.exe -- dump nic0 pciesw0 --load
+     dune exec bin/ihnetctl.exe -- heartbeat --degrade rp0.0:pciesw0 *)
+
+open Cmdliner
+module E = Ihnet_engine
+module T = Ihnet_topology
+module U = Ihnet_util
+module W = Ihnet_workload
+module Mon = Ihnet_monitor
+module R = Ihnet_manager
+
+(* {1 Common options} *)
+
+let preset_conv =
+  let parse = function
+    | "two-socket" -> Ok Ihnet.Host.Two_socket
+    | "dgx" -> Ok Ihnet.Host.Dgx
+    | "epyc" -> Ok Ihnet.Host.Epyc
+    | "minimal" -> Ok Ihnet.Host.Minimal
+    | s -> Error (`Msg (Printf.sprintf "unknown preset %S (two-socket|dgx|epyc|minimal)" s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf
+      (match p with
+      | Ihnet.Host.Two_socket -> "two-socket"
+      | Ihnet.Host.Dgx -> "dgx"
+      | Ihnet.Host.Epyc -> "epyc"
+      | Ihnet.Host.Minimal -> "minimal"
+      | Ihnet.Host.Custom _ -> "custom")
+  in
+  Arg.conv (parse, print)
+
+let preset =
+  Arg.(
+    value
+    & opt preset_conv Ihnet.Host.Two_socket
+    & info [ "preset"; "p" ] ~docv:"PRESET" ~doc:"Host topology: two-socket, dgx, epyc, minimal.")
+
+let ddio_flag =
+  Arg.(
+    value
+    & opt (some (enum [ ("on", true); ("off", false) ])) None
+    & info [ "ddio" ] ~docv:"on|off" ~doc:"Override the DDIO setting.")
+
+let iommu_flag =
+  Arg.(
+    value
+    & opt (some (enum [ ("on", true); ("off", false) ])) None
+    & info [ "iommu" ] ~docv:"on|off" ~doc:"Override the IOMMU setting.")
+
+let mps_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mps" ] ~docv:"BYTES" ~doc:"Override the PCIe MaxPayloadSize.")
+
+let topo_file_flag =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "topo-file"; "f" ] ~docv:"FILE"
+        ~doc:"Build the host from a topology spec file instead of a preset (see 'ihnetctl spec').")
+
+let build_config ddio iommu mps =
+  let c = T.Hostconfig.default in
+  let c =
+    match ddio with
+    | Some false -> { c with T.Hostconfig.ddio = T.Hostconfig.Ddio_off }
+    | Some true | None -> c
+  in
+  let c =
+    match iommu with
+    | Some false -> { c with T.Hostconfig.iommu = T.Hostconfig.Iommu_off }
+    | Some true | None -> c
+  in
+  match mps with Some m -> { c with T.Hostconfig.pcie_mps = m } | None -> c
+
+let load_spec_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  match T.Spec.parse text with
+  | Ok topo -> topo
+  | Error e ->
+    Printf.eprintf "%s: %s\n" path e;
+    exit 2
+
+let make_host preset topo_file ddio iommu mps =
+  let preset =
+    match topo_file with
+    | Some path -> Ihnet.Host.Custom (load_spec_file path)
+    | None -> preset
+  in
+  Ihnet.Host.create ~config:(build_config ddio iommu mps) preset
+
+let config_term = Term.(const build_config $ ddio_flag $ iommu_flag $ mps_flag)
+
+let host_term =
+  Term.(const make_host $ preset $ topo_file_flag $ ddio_flag $ iommu_flag $ mps_flag)
+
+let src_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"SRC")
+let dst_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"DST")
+
+(* [--load] puts a standard aggressor mix on the fabric so diagnostics
+   have something to see. *)
+let load_flag =
+  Arg.(value & flag & info [ "load" ] ~doc:"Add background load (loopback + trainer) first.")
+
+let apply_load host load =
+  if load then begin
+    let fab = Ihnet.Host.fabric host in
+    (try ignore (W.Rdma.start_loopback fab ~tenant:8 ~nic:"nic0" ()) with Invalid_argument _ -> ());
+    (try
+       ignore
+         (W.Mltrain.start fab
+            {
+              (W.Mltrain.default_config ~tenant:9 ~gpu:"gpu0" ~data_source:"dimm0.0.0") with
+              W.Mltrain.compute_time = 0.0;
+            })
+     with Invalid_argument _ -> ());
+    Ihnet.Host.run_for host (U.Units.ms 2.0)
+  end
+
+(* user errors (unknown devices, bad specs) exit with a message, not a
+   backtrace *)
+let guarded f =
+  try f () with
+  | Invalid_argument msg | Failure msg ->
+    Printf.eprintf "ihnetctl: %s\n" msg;
+    exit 1
+
+(* {1 Subcommands} *)
+
+let topo_cmd =
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of a summary.") in
+  let run host dot =
+    let topo = Ihnet.Host.topology host in
+    if dot then print_string (T.Topology.to_dot topo)
+    else begin
+      print_endline (T.Topology.summary topo);
+      Format.printf "config: %a@." T.Hostconfig.pp (T.Topology.config topo);
+      List.iter
+        (fun (l : T.Link.t) ->
+          let name id = (T.Topology.device topo id).T.Device.name in
+          Format.printf "  link %-2d %-18s %-10s <-> %-10s %a %a@." l.T.Link.id
+            (T.Link.kind_label l.T.Link.kind) (name l.T.Link.a) (name l.T.Link.b)
+            U.Units.pp_rate l.T.Link.capacity U.Units.pp_time l.T.Link.base_latency)
+        (T.Topology.links topo)
+    end
+  in
+  Cmd.v (Cmd.info "topo" ~doc:"Show the host topology.") Term.(const run $ host_term $ dot)
+
+let ping_cmd =
+  let count = Arg.(value & opt int 10 & info [ "c"; "count" ] ~docv:"N" ~doc:"Probes to send.") in
+  let run host load src dst count =
+    apply_load host load;
+    let report =
+      Mon.Diagnostics.ping (Ihnet.Host.fabric host) ~src ~dst ~count
+        ~interval:(U.Units.us 100.0) ()
+    in
+    Ihnet.Host.run_for host (U.Units.ms (0.2 *. float_of_int count));
+    Format.printf "ihping %s <-> %s: %d sent, %d lost@." src dst report.Mon.Diagnostics.sent
+      report.Mon.Diagnostics.lost;
+    let r = report.Mon.Diagnostics.rtts in
+    if U.Histogram.count r > 0 then
+      Format.printf "rtt min/p50/p99/max = %a / %a / %a / %a@." U.Units.pp_time
+        (U.Histogram.min_value r) U.Units.pp_time
+        (U.Histogram.percentile r 0.5)
+        U.Units.pp_time
+        (U.Histogram.percentile r 0.99)
+        U.Units.pp_time (U.Histogram.max_value r)
+  in
+  Cmd.v
+    (Cmd.info "ping" ~doc:"Probe RTT between two devices (ihping).")
+    Term.(const run $ host_term $ load_flag $ src_arg $ dst_arg $ count)
+
+let trace_cmd =
+  let run host load src dst =
+    apply_load host load;
+    Printf.printf "ihtrace %s -> %s:\n" src dst;
+    List.iter
+      (fun (h : Mon.Diagnostics.trace_hop) ->
+        Format.printf "  -> %-12s %-18s class %-4s base %a, now %a (util %.0f%%)@."
+          h.Mon.Diagnostics.hop_device h.Mon.Diagnostics.link_kind
+          (match h.Mon.Diagnostics.figure1_class with
+          | Some c -> Printf.sprintf "(%d)" c
+          | None -> "-")
+          U.Units.pp_time h.Mon.Diagnostics.base_latency U.Units.pp_time
+          h.Mon.Diagnostics.loaded_latency
+          (h.Mon.Diagnostics.utilization *. 100.0))
+      (Mon.Diagnostics.trace (Ihnet.Host.fabric host) ~src ~dst)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Hop-by-hop latency decomposition (ihtrace).")
+    Term.(const run $ host_term $ load_flag $ src_arg $ dst_arg)
+
+let perf_cmd =
+  let run host load src dst =
+    apply_load host load;
+    let fab = Ihnet.Host.fabric host in
+    let done_ = ref false in
+    Mon.Diagnostics.perf fab ~src ~dst ~duration:(U.Units.ms 10.0)
+      ~on_done:(fun r ->
+        done_ := true;
+        Format.printf "ihperf %s -> %s: %a over %a (%a)@." src dst U.Units.pp_bytes
+          r.Mon.Diagnostics.bytes_moved U.Units.pp_time r.Mon.Diagnostics.duration
+          U.Units.pp_rate r.Mon.Diagnostics.achieved_rate;
+        match r.Mon.Diagnostics.bottleneck with
+        | Some (link, u) ->
+          let topo = Ihnet.Host.topology host in
+          let l = T.Topology.link topo link in
+          let name id = (T.Topology.device topo id).T.Device.name in
+          Format.printf "bottleneck: %s-%s at %.0f%%@." (name l.T.Link.a) (name l.T.Link.b)
+            (u *. 100.0)
+        | None -> ())
+      ();
+    Ihnet.Host.run_for host (U.Units.ms 11.0);
+    if not !done_ then prerr_endline "perf did not complete (simulation stalled?)"
+  in
+  Cmd.v
+    (Cmd.info "perf" ~doc:"Measure achievable bandwidth (ihperf).")
+    Term.(const run $ host_term $ load_flag $ src_arg $ dst_arg)
+
+let dump_cmd =
+  let run host load a b =
+    apply_load host load;
+    let topo = Ihnet.Host.topology host in
+    let dev n =
+      match T.Topology.device_by_name topo n with
+      | Some d -> d.T.Device.id
+      | None -> failwith ("no device " ^ n)
+    in
+    match T.Topology.links_between topo (dev a) (dev b) with
+    | [] -> Printf.eprintf "no link between %s and %s\n" a b
+    | l :: _ ->
+      Printf.printf "ihdump on link %s-%s:\n" a b;
+      List.iter
+        (fun (c : Mon.Diagnostics.captured_flow) ->
+          Format.printf "  flow#%-4d tenant %-3d %-11s %-10s -> %-10s %a@."
+            c.Mon.Diagnostics.flow_id c.Mon.Diagnostics.tenant c.Mon.Diagnostics.cls
+            c.Mon.Diagnostics.src_dev c.Mon.Diagnostics.dst_dev U.Units.pp_rate
+            c.Mon.Diagnostics.rate)
+        (Mon.Diagnostics.dump (Ihnet.Host.fabric host) ~link:l.T.Link.id ())
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Capture the flows crossing a link (ihdump).")
+    Term.(const run $ host_term $ load_flag $ src_arg $ dst_arg)
+
+let check_cmd =
+  let run preset config =
+    let topo =
+      match preset with
+      | Ihnet.Host.Two_socket -> T.Builder.two_socket_server ~config ()
+      | Ihnet.Host.Dgx -> T.Builder.dgx_like ~config ()
+      | Ihnet.Host.Epyc -> T.Builder.epyc_like ~config ()
+      | Ihnet.Host.Minimal | Ihnet.Host.Custom _ -> T.Builder.minimal ~config ()
+    in
+    match Mon.Anomaly.check_configuration topo with
+    | [] -> print_endline "configuration clean: no findings"
+    | findings ->
+      List.iter (Printf.printf "finding: %s\n") findings;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Static misconfiguration checks.")
+    Term.(const run $ preset $ config_term)
+
+let heartbeat_cmd =
+  let degrade =
+    Arg.(
+      value
+      & opt (some (pair ~sep:':' string string)) None
+      & info [ "degrade" ] ~docv:"DEVA:DEVB"
+          ~doc:"Silently degrade the link between two devices mid-run.")
+  in
+  let run host degrade =
+    let fab = Ihnet.Host.fabric host in
+    let topo = Ihnet.Host.topology host in
+    let hb = Ihnet.Host.start_heartbeats host () in
+    Ihnet.Host.run_for host (U.Units.ms 10.0);
+    (match degrade with
+    | Some (a, b) -> (
+      let dev n =
+        match T.Topology.device_by_name topo n with
+        | Some d -> d.T.Device.id
+        | None -> failwith ("no device " ^ n)
+      in
+      match T.Topology.links_between topo (dev a) (dev b) with
+      | l :: _ ->
+        Printf.printf "[injecting +5 us on %s-%s]\n" a b;
+        E.Fabric.inject_fault fab l.T.Link.id
+          { E.Fault.capacity_factor = 1.0; extra_latency = U.Units.us 5.0; loss_prob = 0.0 }
+      | [] -> failwith "no such link")
+    | None -> ());
+    Ihnet.Host.run_for host (U.Units.ms 10.0);
+    Printf.printf "rounds: %d, failing pairs: %d\n" (Mon.Heartbeat.rounds hb)
+      (List.length (Mon.Heartbeat.failing_pairs hb));
+    (match Mon.Heartbeat.first_detection hb with
+    | Some at -> Format.printf "first detection at %a@." U.Units.pp_time at
+    | None -> print_endline "no anomaly detected");
+    List.iter
+      (fun (s : Mon.Heartbeat.suspect) ->
+        let l = T.Topology.link topo s.Mon.Heartbeat.link in
+        let name id = (T.Topology.device topo id).T.Device.name in
+        Printf.printf "suspect: %s-%s (score %.2f)\n" (name l.T.Link.a) (name l.T.Link.b)
+          s.Mon.Heartbeat.score)
+      (Mon.Heartbeat.localize hb)
+  in
+  Cmd.v
+    (Cmd.info "heartbeat" ~doc:"Run the heartbeat mesh; optionally inject a silent fault.")
+    Term.(const run $ host_term $ degrade)
+
+let scenario_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Scenario name.")
+  in
+  let ms =
+    Arg.(value & opt float 20.0 & info [ "ms" ] ~docv:"MS" ~doc:"Simulated milliseconds to run.")
+  in
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List scenario names and exit.")
+  in
+  let protect =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "protect" ] ~docv:"GBPS"
+          ~doc:"Mid-run, give tenant 1 an end-to-end guarantee of this many Gbit/s and show \
+                the before/after.")
+  in
+  let run host list_only name ms protect =
+    if list_only then
+      List.iter (fun (n, d) -> Printf.printf "%-14s %s\n" n d) W.Scenario.all
+    else
+      match W.Scenario.find name with
+      | None ->
+        Printf.eprintf "unknown scenario %S; try --list\n" name;
+        exit 1
+      | Some make ->
+        let h = make (Ihnet.Host.fabric host) in
+        Printf.printf "scenario %s: %s\n" h.W.Scenario.name h.W.Scenario.describe;
+        List.iter (fun (id, role) -> Printf.printf "  tenant %d: %s\n" id role)
+          h.W.Scenario.tenants;
+        Ihnet.Host.run_for host (U.Units.ms ms);
+        Printf.printf "after %.0f ms:\n" ms;
+        List.iter (fun (k, v) -> Printf.printf "  %-22s %s\n" k v) (h.W.Scenario.metrics ());
+        (match protect with
+        | None -> ()
+        | Some gbps ->
+          let mgr = Ihnet.Host.enable_manager host () in
+          let rate = U.Units.gbps gbps in
+          let intent =
+            {
+              (R.Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate) with
+              R.Intent.targets =
+                [
+                  R.Intent.Pipe { src = "ext"; dst = "socket0"; rate };
+                  R.Intent.Pipe { src = "socket0"; dst = "ext"; rate };
+                ];
+            }
+          in
+          (match R.Manager.submit mgr intent with
+          | Ok _ -> Printf.printf "\n[tenant 1 protected with a %.0f Gbps pipe]\n" gbps
+          | Error e -> Printf.printf "\n[intent rejected: %s]\n" e);
+          Ihnet.Host.run_for host (U.Units.ms ms);
+          Printf.printf "after another %.0f ms under management:\n" ms;
+          List.iter (fun (k, v) -> Printf.printf "  %-22s %s\n" k v) (h.W.Scenario.metrics ());
+          Format.printf "%a" R.Slo.pp (R.Slo.check mgr));
+        h.W.Scenario.stop ()
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Run a canned workload scenario and print its metrics.")
+    Term.(const run $ host_term $ list_flag $ name_arg $ ms $ protect)
+
+let monitor_cmd =
+  let ms =
+    Arg.(value & opt float 10.0 & info [ "ms" ] ~docv:"MS" ~doc:"Simulated milliseconds to sample.")
+  in
+  let period_us =
+    Arg.(value & opt float 100.0 & info [ "period" ] ~docv:"US" ~doc:"Sampling period, microseconds.")
+  in
+  let series_filter =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "series" ] ~docv:"PREFIX" ~doc:"Only dump series whose name starts with PREFIX.")
+  in
+  let run host load ms period_us series_filter =
+    apply_load host load;
+    let sampler =
+      Mon.Sampler.start (Ihnet.Host.fabric host)
+        {
+          (Mon.Sampler.default_config ()) with
+          Mon.Sampler.period = U.Units.us period_us;
+          fidelity = Mon.Counter.Oracle;
+        }
+    in
+    Ihnet.Host.run_for host (U.Units.ms ms);
+    let tm = Mon.Sampler.telemetry sampler in
+    let series =
+      match series_filter with
+      | None -> None
+      | Some prefix ->
+        Some
+          (List.filter
+             (fun n ->
+               String.length n >= String.length prefix
+               && String.sub n 0 (String.length prefix) = prefix)
+             (Mon.Telemetry.series_names tm))
+    in
+    print_string (Mon.Telemetry.to_csv ?series tm);
+    Mon.Sampler.stop sampler
+  in
+  Cmd.v
+    (Cmd.info "monitor" ~doc:"Sample the fabric for a while and dump telemetry as CSV.")
+    Term.(const run $ host_term $ load_flag $ ms $ period_us $ series_filter)
+
+let report_cmd =
+  let fidelity =
+    Arg.(
+      value
+      & opt (enum [ ("hardware", `Hw); ("software", `Sw); ("oracle", `Oracle) ]) `Oracle
+      & info [ "fidelity" ] ~docv:"LEVEL" ~doc:"Counter fidelity: hardware, software, oracle.")
+  in
+  let run host load fidelity =
+    apply_load host load;
+    let fid =
+      match fidelity with
+      | `Hw -> Mon.Counter.Hardware { max_read_hz = 10_000.0 }
+      | `Sw -> Mon.Counter.Software
+      | `Oracle -> Mon.Counter.Oracle
+    in
+    let counter = Mon.Counter.create (Ihnet.Host.fabric host) ~fidelity:fid in
+    let report = Mon.Health.collect counter ~tenants:[ 1; 2; 8; 9 ] () in
+    Format.printf "%a" Mon.Health.pp report
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"One-shot health report (congestion, talkers, DDIO).")
+    Term.(const run $ host_term $ load_flag $ fidelity)
+
+let plan_cmd =
+  let pipes =
+    Arg.(
+      value
+      & opt_all (t3 ~sep:':' string string float) []
+      & info [ "pipe" ] ~docv:"SRC:DST:GBPS" ~doc:"A pipe intent (repeatable).")
+  in
+  let hoses =
+    Arg.(
+      value
+      & opt_all (t3 ~sep:':' string float float) []
+      & info [ "hose" ] ~docv:"DEV:IN_GBPS:OUT_GBPS" ~doc:"A hose intent (repeatable).")
+  in
+  let headroom =
+    Arg.(value & opt float 0.9 & info [ "headroom" ] ~docv:"F" ~doc:"Reservable fraction per link.")
+  in
+  let run host pipes hoses headroom =
+    let topo = Ihnet.Host.topology host in
+    let intents =
+      List.mapi
+        (fun i (src, dst, gbps) ->
+          R.Intent.pipe ~tenant:(i + 1) ~src ~dst ~rate:(U.Units.gbps gbps))
+        pipes
+      @ List.mapi
+          (fun i (endpoint, in_g, out_g) ->
+            R.Intent.hose
+              ~tenant:(100 + i)
+              ~endpoint ~to_host:(U.Units.gbps in_g) ~from_host:(U.Units.gbps out_g))
+          hoses
+    in
+    if intents = [] then begin
+      prerr_endline "no intents given; use --pipe/--hose";
+      exit 1
+    end;
+    Printf.printf "deployment: %d intent(s), headroom %.0f%%\n" (List.length intents)
+      (headroom *. 100.0);
+    if R.Planner.fits topo ~headroom intents then begin
+      let s = R.Planner.max_scale topo ~headroom intents in
+      Printf.printf "fits: yes (uniform growth room: %.2fx)\n" s;
+      print_endline "hottest links after placement:";
+      List.iter
+        (fun ((l : T.Link.t), ratio) ->
+          let name id = (T.Topology.device topo id).T.Device.name in
+          Printf.printf "  %-18s %-10s - %-10s %.0f%%\n" (T.Link.kind_label l.T.Link.kind)
+            (name l.T.Link.a) (name l.T.Link.b) (ratio *. 100.0))
+        (R.Planner.bottlenecks topo ~headroom intents)
+    end
+    else begin
+      let s = R.Planner.max_scale topo ~headroom intents in
+      Printf.printf "fits: NO (would fit at %.2fx of the requested rates)\n" s;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Capacity-plan a set of intents against a host.")
+    Term.(const run $ host_term $ pipes $ hoses $ headroom)
+
+let spec_cmd =
+  let run () = print_string T.Spec.example in
+  Cmd.v
+    (Cmd.info "spec" ~doc:"Print an example topology spec file (for --topo-file).")
+    Term.(const run $ const ())
+
+let main_cmd =
+  let doc = "operator tools for the (simulated) manageable intra-host network" in
+  Cmd.group (Cmd.info "ihnetctl" ~doc ~version:"1.0.0")
+    [ topo_cmd; ping_cmd; trace_cmd; perf_cmd; dump_cmd; check_cmd; heartbeat_cmd; monitor_cmd; plan_cmd; report_cmd; scenario_cmd; spec_cmd ]
+
+let () = exit (guarded (fun () -> Cmd.eval ~catch:false main_cmd))

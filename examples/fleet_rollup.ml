@@ -1,0 +1,57 @@
+(* Fleet roll-up: the centralized network-state service view of §3.1.
+   Three hosts — one quiet, one under attack, one misconfigured — and
+   the collector ranks who needs attention.
+
+   Run with: dune exec examples/fleet_rollup.exe *)
+
+open Ihnet
+module E = Ihnet_engine
+module T = Ihnet_topology
+module U = Ihnet_util
+module W = Ihnet_workload
+module Mon = Ihnet_monitor
+
+let member label ~config ~load =
+  let host = Host.create ~config Host.Two_socket in
+  let fab = Host.fabric host in
+  if load then begin
+    ignore (W.Rdma.start_loopback fab ~tenant:3 ~nic:"nic0" ());
+    ignore
+      (W.Mltrain.start fab
+         {
+           (W.Mltrain.default_config ~tenant:4 ~gpu:"gpu0" ~data_source:"dimm0.0.0") with
+           W.Mltrain.compute_time = 0.0;
+         })
+  end;
+  Host.run_for host (U.Units.ms 2.0);
+  {
+    Mon.Fleet.label;
+    counter = Mon.Counter.create fab ~fidelity:Mon.Counter.Oracle;
+    tenants = [ 3; 4 ];
+  }
+
+let () =
+  let bad_config =
+    {
+      T.Hostconfig.default with
+      T.Hostconfig.ddio = T.Hostconfig.Ddio_off;
+      pcie_mps = 128;
+      interrupt_moderation = U.Units.us 50.0;
+    }
+  in
+  let members =
+    [
+      member "rack3-node01" ~config:T.Hostconfig.default ~load:false;
+      member "rack3-node02" ~config:T.Hostconfig.default ~load:true;
+      member "rack3-node03" ~config:bad_config ~load:false;
+    ]
+  in
+  let fleet = Mon.Fleet.collect ~round:1 members in
+  Format.printf "%a@." Mon.Fleet.pp fleet;
+  print_endline "details of the hosts needing attention:";
+  List.iter
+    (fun (s : Mon.Fleet.host_status) ->
+      Printf.printf "\n-- %s --\n" s.Mon.Fleet.label;
+      Format.printf "%a" Mon.Health.pp s.Mon.Fleet.health;
+      List.iter (Printf.printf "  finding: %s\n") s.Mon.Fleet.config_findings)
+    (Mon.Fleet.needs_attention fleet)

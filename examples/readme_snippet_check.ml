@@ -1,0 +1,18 @@
+(* Compile-check for the README's quickstart snippet: if the README
+   code drifts from the API, this file stops building. Not meant to be
+   run (it is, harmlessly, a 20 ms simulation). *)
+
+open Ihnet
+
+let host = Host.create Host.Two_socket
+let rtt = Option.get (Host.ping host ~src:"nic0" ~dst:"dimm0.0.0")
+let hops = Host.trace host ~src:"ext" ~dst:"gpu0"
+let bw = Host.bandwidth host ~src:"gpu0" ~dst:"ssd0"
+let tenant = Host.add_tenant host ~name:"kv"
+let kv = Kvstore.start (Host.fabric host)
+           (Kvstore.default_config ~tenant:tenant.Tenant.id ~nic:"nic0")
+let () = Host.run_for host (Units.ms 20.0)
+let placements = Host.submit_intent host
+    (Intent.pipe ~tenant:tenant.Tenant.id ~src:"ext" ~dst:"socket0"
+       ~rate:(Units.gbps 4.0))
+let () = ignore (rtt, hops, bw, kv, placements)

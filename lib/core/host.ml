@@ -1,0 +1,95 @@
+module T = Ihnet_topology
+module E = Ihnet_engine
+module W = Ihnet_workload
+module M = Ihnet_monitor
+module R = Ihnet_manager
+
+type preset = Two_socket | Dgx | Epyc | Minimal | Custom of T.Topology.t
+
+type t = {
+  sim : E.Sim.t;
+  fabric : E.Fabric.t;
+  tenants : W.Tenant.registry;
+  mutable sampler : M.Sampler.t option;
+  mutable heartbeat : M.Heartbeat.t option;
+  mutable manager : R.Manager.t option;
+}
+
+let build_topology ?config = function
+  | Two_socket -> T.Builder.two_socket_server ?config ()
+  | Dgx -> T.Builder.dgx_like ?config ()
+  | Epyc -> T.Builder.epyc_like ?config ()
+  | Minimal -> T.Builder.minimal ?config ()
+  | Custom topo ->
+    Option.iter (T.Topology.set_config topo) config;
+    topo
+
+let create ?(seed = 42) ?config preset =
+  let topo = build_topology ?config preset in
+  (match T.Topology.validate topo with
+  | Ok () -> ()
+  | Error es -> invalid_arg ("Host.create: invalid topology: " ^ String.concat "; " es));
+  let sim = E.Sim.create () in
+  let fabric = E.Fabric.create ~seed sim topo in
+  {
+    sim;
+    fabric;
+    tenants = W.Tenant.create_registry ();
+    sampler = None;
+    heartbeat = None;
+    manager = None;
+  }
+
+let sim t = t.sim
+let fabric t = t.fabric
+let topology t = E.Fabric.topology t.fabric
+let tenants t = t.tenants
+let now t = E.Sim.now t.sim
+
+let run_for t duration =
+  assert (duration >= 0.0);
+  E.Sim.run ~until:(E.Sim.now t.sim +. duration) t.sim
+
+let run_until_idle t = E.Sim.run t.sim
+let add_tenant t ~name = W.Tenant.register t.tenants ~name ~kind:W.Tenant.Vm
+
+let start_monitoring t ?config () =
+  match t.sampler with
+  | Some s -> s
+  | None ->
+    let config = match config with Some c -> c | None -> M.Sampler.default_config () in
+    let s = M.Sampler.start t.fabric config in
+    t.sampler <- Some s;
+    s
+
+let sampler t = t.sampler
+
+let start_heartbeats t ?config () =
+  match t.heartbeat with
+  | Some h -> h
+  | None ->
+    let h = M.Heartbeat.start t.fabric ?config () in
+    t.heartbeat <- Some h;
+    h
+
+let heartbeat t = t.heartbeat
+
+let enable_manager t ?headroom ?(shim_period = Ihnet_util.Units.us 50.0) () =
+  match t.manager with
+  | Some m -> m
+  | None ->
+    let m = R.Manager.create t.fabric ?headroom () in
+    R.Manager.start_shim m ~period:shim_period;
+    t.manager <- Some m;
+    m
+
+let manager t = t.manager
+
+let submit_intent t intent =
+  let m = enable_manager t () in
+  R.Manager.submit m intent
+
+let ping t ~src ~dst = M.Diagnostics.ping_once t.fabric ~src ~dst
+let trace t ~src ~dst = M.Diagnostics.trace t.fabric ~src ~dst
+let bandwidth t ~src ~dst = M.Diagnostics.perf_now t.fabric ~src ~dst
+let check_configuration t = M.Anomaly.check_configuration (topology t)

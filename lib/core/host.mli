@@ -1,0 +1,66 @@
+(** A managed host: simulator + fabric + tenant registry + (optional)
+    monitoring and resource management, behind one handle.
+
+    This is the library's front door. Lower layers remain fully usable
+    directly; [Host] only wires them together and owns their
+    lifetimes. *)
+
+type preset =
+  | Two_socket  (** Figure 1's example server. *)
+  | Dgx  (** 8-GPU/8-NIC DGX-like box. *)
+  | Epyc  (** Flat, switchless EPYC-like box. *)
+  | Minimal  (** One socket, one NIC. *)
+  | Custom of Ihnet_topology.Topology.t
+
+type t
+
+val create : ?seed:int -> ?config:Ihnet_topology.Hostconfig.t -> preset -> t
+(** Builds (and validates) the topology and the fabric.
+    @raise Invalid_argument if a custom topology fails validation. *)
+
+val sim : t -> Ihnet_engine.Sim.t
+val fabric : t -> Ihnet_engine.Fabric.t
+val topology : t -> Ihnet_topology.Topology.t
+val tenants : t -> Ihnet_workload.Tenant.registry
+
+val now : t -> Ihnet_util.Units.ns
+val run_for : t -> Ihnet_util.Units.ns -> unit
+(** Advance the simulation by a duration. *)
+
+val run_until_idle : t -> unit
+(** Drain all pending events (careful: periodic monitors never
+    drain — stop them first, or use {!run_for}). *)
+
+val add_tenant : t -> name:string -> Ihnet_workload.Tenant.t
+(** Registers a VM tenant. *)
+
+(** {1 Monitoring} *)
+
+val start_monitoring : t -> ?config:Ihnet_monitor.Sampler.config -> unit -> Ihnet_monitor.Sampler.t
+(** Idempotent: returns the running sampler if one exists. *)
+
+val sampler : t -> Ihnet_monitor.Sampler.t option
+val start_heartbeats : t -> ?config:Ihnet_monitor.Heartbeat.config -> unit -> Ihnet_monitor.Heartbeat.t
+val heartbeat : t -> Ihnet_monitor.Heartbeat.t option
+
+(** {1 Resource management} *)
+
+val enable_manager :
+  t -> ?headroom:float -> ?shim_period:Ihnet_util.Units.ns -> unit -> Ihnet_manager.Manager.t
+(** Creates the manager and starts its shim. Idempotent. *)
+
+val manager : t -> Ihnet_manager.Manager.t option
+
+val submit_intent :
+  t -> Ihnet_manager.Intent.t -> (Ihnet_manager.Placement.t list, string) result
+(** Enables the manager (defaults) if needed, then submits. *)
+
+(** {1 Diagnostics shortcuts} *)
+
+val ping : t -> src:string -> dst:string -> Ihnet_util.Units.ns option
+val trace : t -> src:string -> dst:string -> Ihnet_monitor.Diagnostics.trace_hop list
+val bandwidth : t -> src:string -> dst:string -> float
+(** Instantaneous available bandwidth (what-if), bytes/s. *)
+
+val check_configuration : t -> string list
+(** Static misconfiguration findings. *)

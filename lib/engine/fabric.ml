@@ -1,0 +1,644 @@
+module T = Ihnet_topology
+module U = Ihnet_util
+
+type entry = { flow : Flow.t; usage : (int * float) list }
+
+(* Per-socket memory fan-out used to stripe induced DDIO traffic. *)
+type socket_mem = {
+  socket_dev : T.Device.id;
+  to_mem : (int * float) list; (* resources socket->DIMMs, striped coefficients *)
+  from_mem : (int * float) list; (* resources DIMMs->socket *)
+}
+
+type t = {
+  sim : Sim.t;
+  topo : T.Topology.t;
+  rng : U.Rng.t;
+  faults : Fault.t;
+  mutable cache : Cache.t;
+  mutable entries : entry list; (* active flows, insertion order (kept reversed) *)
+  mutable next_flow_id : int;
+  mutable epoch : int;
+  mutable last_update : float;
+  mutable load : float array; (* per resource, set by reallocate *)
+  mutable flows_on : int array; (* active flow count per resource *)
+  (* induced DDIO traffic, per socket *)
+  mutable ddio_write : float array;
+  mutable ddio_hit : float array;
+  mutable spill_wb : float array; (* write-back rate, socket->mem *)
+  mutable spill_rr : float array; (* re-read rate, mem->socket *)
+  socket_mems : socket_mem option array; (* indexed by socket number *)
+  link_bytes : float array;
+  tenant_bytes_tbl : (int * int, float) Hashtbl.t; (* (resource, tenant) -> bytes *)
+  cls_bytes_tbl : (int * int, float) Hashtbl.t; (* (resource, cls index) -> bytes *)
+  mutable allocs : int;
+  mutable in_batch : bool; (* defer reallocation inside Fabric.batch *)
+  mutable listeners : (event -> unit) list; (* registration order *)
+}
+
+and event =
+  | Flow_started of Flow.t
+  | Flow_completed of Flow.t
+  | Flow_stopped of Flow.t
+  | Fault_injected of T.Link.id * Fault.link_fault
+  | Fault_cleared of T.Link.id
+
+let res_of link_id (dir : T.Link.dir) = (2 * link_id) + match dir with T.Link.Fwd -> 0 | T.Link.Rev -> 1
+
+let cls_index : Flow.cls -> int = function
+  | Flow.Payload -> 0
+  | Flow.Monitoring -> 1
+  | Flow.Heartbeat -> 2
+  | Flow.Probe -> 3
+  | Flow.Induced -> 4
+
+let nresources topo = 2 * T.Topology.link_count topo
+
+(* Build the striped socket->memory usage lists: each memory-controller
+   mesh link carries 1/#mc of the rate, each DDR channel 1/#channels
+   (hardware interleaving). *)
+let build_socket_mems topo =
+  let sockets =
+    T.Topology.find_devices topo (fun d ->
+        match d.T.Device.kind with T.Device.Cpu_socket _ -> true | _ -> false)
+  in
+  let max_socket =
+    List.fold_left (fun acc (d : T.Device.t) -> max acc d.socket) (-1) sockets
+  in
+  let arr = Array.make (max_socket + 1) None in
+  List.iter
+    (fun (sock : T.Device.t) ->
+      let mcs =
+        List.filter_map
+          (fun ((l : T.Link.t), peer) ->
+            match (T.Topology.device topo peer).T.Device.kind with
+            | T.Device.Memory_controller _ -> Some (l, peer)
+            | _ -> None)
+          (T.Topology.neighbors topo sock.id)
+      in
+      if mcs <> [] then begin
+        let nmc = float_of_int (List.length mcs) in
+        let channels =
+          List.concat_map
+            (fun (_, mc) ->
+              List.filter_map
+                (fun ((l : T.Link.t), peer) ->
+                  match (T.Topology.device topo peer).T.Device.kind with
+                  | T.Device.Dimm _ -> Some (l, mc)
+                  | _ -> None)
+                (T.Topology.neighbors topo mc))
+            mcs
+        in
+        let nch = float_of_int (max 1 (List.length channels)) in
+        let dir_out (l : T.Link.t) from = if l.a = from then T.Link.Fwd else T.Link.Rev in
+        let to_mem =
+          List.map (fun ((l : T.Link.t), _) -> (res_of l.id (dir_out l sock.id), 1.0 /. nmc)) mcs
+          @ List.map
+              (fun ((l : T.Link.t), mc) -> (res_of l.id (dir_out l mc), 1.0 /. nch))
+              channels
+        in
+        let from_mem =
+          List.map
+            (fun ((l : T.Link.t), _) ->
+              (res_of l.id (T.Link.opposite (dir_out l sock.id)), 1.0 /. nmc))
+            mcs
+          @ List.map
+              (fun ((l : T.Link.t), mc) ->
+                (res_of l.id (T.Link.opposite (dir_out l mc)), 1.0 /. nch))
+              channels
+        in
+        arr.(sock.socket) <- Some { socket_dev = sock.id; to_mem; from_mem }
+      end)
+    sockets;
+  arr
+
+let create ?(seed = 42) sim topo =
+  let nr = nresources topo in
+  let socket_mems = build_socket_mems topo in
+  let ns = Array.length socket_mems in
+  {
+    sim;
+    topo;
+    rng = U.Rng.create seed;
+    faults = Fault.create ();
+    cache = Cache.create (T.Topology.config topo).T.Hostconfig.ddio;
+    entries = [];
+    next_flow_id = 0;
+    epoch = 0;
+    last_update = Sim.now sim;
+    load = Array.make nr 0.0;
+    flows_on = Array.make nr 0;
+    ddio_write = Array.make (max 1 ns) 0.0;
+    ddio_hit = Array.make (max 1 ns) 1.0;
+    spill_wb = Array.make (max 1 ns) 0.0;
+    spill_rr = Array.make (max 1 ns) 0.0;
+    socket_mems;
+    link_bytes = Array.make nr 0.0;
+    tenant_bytes_tbl = Hashtbl.create 64;
+    cls_bytes_tbl = Hashtbl.create 16;
+    allocs = 0;
+    in_batch = false;
+    listeners = [];
+  }
+
+let subscribe t f = t.listeners <- t.listeners @ [ f ]
+let emit t ev = List.iter (fun f -> f ev) t.listeners
+
+let sim t = t.sim
+let topology t = t.topo
+let rng t = t.rng
+let now t = Sim.now t.sim
+
+(* Faults degrade both directions alike; [dir] is kept for interface
+   symmetry with the per-direction telemetry. *)
+let effective_capacity t link_id _dir =
+  let link = T.Topology.link t.topo link_id in
+  let f = Fault.get t.faults link_id in
+  link.T.Link.capacity *. f.Fault.capacity_factor
+
+let capacities t =
+  let nr = nresources t.topo in
+  Array.init nr (fun r ->
+      let link_id = r / 2 in
+      let dir = if r mod 2 = 0 then T.Link.Fwd else T.Link.Rev in
+      effective_capacity t link_id dir)
+
+(* Integrate flow progress and byte counters from last_update to now. *)
+let add_bytes t res tenant cls bytes =
+  t.link_bytes.(res) <- t.link_bytes.(res) +. bytes;
+  let bump tbl key =
+    Hashtbl.replace tbl key (bytes +. Option.value ~default:0.0 (Hashtbl.find_opt tbl key))
+  in
+  bump t.tenant_bytes_tbl (res, tenant);
+  bump t.cls_bytes_tbl (res, cls_index cls)
+
+let sync t =
+  let now = Sim.now t.sim in
+  let dt = now -. t.last_update in
+  if dt > 0.0 then begin
+    let secs = dt /. 1e9 in
+    List.iter
+      (fun e ->
+        let f = e.flow in
+        if f.Flow.state = Flow.Running && f.Flow.rate > 0.0 then begin
+          let goodput = f.Flow.rate *. secs in
+          f.Flow.transferred <- f.Flow.transferred +. goodput;
+          if f.Flow.remaining <> infinity then
+            f.Flow.remaining <- Float.max 0.0 (f.Flow.remaining -. goodput);
+          List.iter
+            (fun (res, coeff) -> add_bytes t res f.Flow.tenant f.Flow.cls (f.Flow.rate *. coeff *. secs))
+            e.usage
+        end)
+      t.entries;
+    (* induced DDIO traffic *)
+    Array.iteri
+      (fun s sm ->
+        match sm with
+        | None -> ()
+        | Some sm ->
+          if t.spill_wb.(s) > 0.0 then
+            List.iter
+              (fun (res, coeff) -> add_bytes t res 0 Flow.Induced (t.spill_wb.(s) *. coeff *. secs))
+              sm.to_mem;
+          if t.spill_rr.(s) > 0.0 then
+            List.iter
+              (fun (res, coeff) -> add_bytes t res 0 Flow.Induced (t.spill_rr.(s) *. coeff *. secs))
+              sm.from_mem)
+      t.socket_mems;
+    t.last_update <- now
+  end
+  else t.last_update <- now
+
+(* The socket (number) an llc_target flow writes into, when its
+   destination is a CPU socket. *)
+let llc_socket t (f : Flow.t) =
+  let dst = f.path.T.Path.dst in
+  match (T.Topology.device t.topo dst).T.Device.kind with
+  | T.Device.Cpu_socket _ -> Some (T.Topology.device t.topo dst).T.Device.socket
+  | _ -> None
+
+let demand_of_entry e : Fairshare.demand =
+  let f = e.flow in
+  {
+    Fairshare.weight = f.Flow.weight;
+    floor = f.Flow.floor;
+    cap = Flow.effective_demand f;
+    usage = e.usage;
+  }
+
+let spill_demand rate usage : Fairshare.demand =
+  { Fairshare.weight = 1.0; floor = 0.0; cap = rate; usage }
+
+exception Stale
+
+(* Recompute all rates; resolve the DDIO spill fixed point by a short
+   damped iteration (spill depends on allocated write rates which depend
+   on memory-bus contention which includes spill). *)
+let rec reallocate t =
+  if t.in_batch then ()
+  else reallocate_now t
+
+and reallocate_now t =
+  sync t;
+  t.allocs <- t.allocs + 1;
+  t.epoch <- t.epoch + 1;
+  let caps = capacities t in
+  let nr = Array.length caps in
+  let active = List.filter (fun e -> e.flow.Flow.state = Flow.Running) t.entries in
+  t.entries <- active;
+  let entries = Array.of_list (List.rev active) in
+  let n = Array.length entries in
+  let ns = Array.length t.socket_mems in
+  let ddio_on = Cache.enabled t.cache in
+  let wb = Array.make (max 1 ns) 0.0 and rr = Array.make (max 1 ns) 0.0 in
+  let write = Array.make (max 1 ns) 0.0 and hit = Array.make (max 1 ns) 1.0 in
+  let rates = ref (Array.make n 0.0) in
+  (* the spill fixed point only matters when LLC-targeted flows exist *)
+  let any_llc = Array.exists (fun e -> e.flow.Flow.llc_target) entries in
+  let iterations = if ns > 0 && any_llc then 4 else 1 in
+  for _iter = 1 to iterations do
+    let spills = ref [] in
+    Array.iteri
+      (fun s sm ->
+        match sm with
+        | None -> ()
+        | Some sm ->
+          if wb.(s) > 0.0 then spills := spill_demand wb.(s) sm.to_mem :: !spills;
+          if rr.(s) > 0.0 then spills := spill_demand rr.(s) sm.from_mem :: !spills)
+      t.socket_mems;
+    let demands =
+      Array.append (Array.map demand_of_entry entries) (Array.of_list !spills)
+    in
+    let all = Fairshare.allocate ~capacities:caps demands in
+    rates := Array.sub all 0 n;
+    (* recompute spill targets from the allocated LLC write rates *)
+    Array.fill write 0 (Array.length write) 0.0;
+    Array.iteri
+      (fun i e ->
+        if e.flow.Flow.llc_target then
+          match llc_socket t e.flow with
+          | Some s when s >= 0 && s < ns -> write.(s) <- write.(s) +. !rates.(i)
+          | Some _ | None -> ())
+      entries;
+    for s = 0 to ns - 1 do
+      let h = Cache.hit_rate t.cache ~write_rate:write.(s) in
+      hit.(s) <- (if ddio_on then h else 0.0);
+      let target_wb, target_rr =
+        if write.(s) <= 0.0 then (0.0, 0.0)
+        else if ddio_on then ((1.0 -. h) *. write.(s), (1.0 -. h) *. write.(s))
+        else (write.(s), 0.0)
+      in
+      wb.(s) <- (wb.(s) +. target_wb) /. 2.0;
+      rr.(s) <- (rr.(s) +. target_rr) /. 2.0
+    done
+  done;
+  (* commit rates *)
+  Array.iteri (fun i e -> e.flow.Flow.rate <- !rates.(i)) entries;
+  t.ddio_write <- write;
+  t.ddio_hit <- hit;
+  t.spill_wb <- wb;
+  t.spill_rr <- rr;
+  (* recompute loads and per-resource flow counts *)
+  let load = Array.make nr 0.0 and fon = Array.make nr 0 in
+  Array.iter
+    (fun e ->
+      List.iter
+        (fun (res, coeff) ->
+          load.(res) <- load.(res) +. (e.flow.Flow.rate *. coeff);
+          fon.(res) <- fon.(res) + 1)
+        e.usage)
+    entries;
+  Array.iteri
+    (fun s sm ->
+      match sm with
+      | None -> ()
+      | Some sm ->
+        List.iter (fun (res, c) -> load.(res) <- load.(res) +. (wb.(s) *. c)) sm.to_mem;
+        List.iter (fun (res, c) -> load.(res) <- load.(res) +. (rr.(s) *. c)) sm.from_mem)
+    t.socket_mems;
+  t.load <- load;
+  t.flows_on <- fon;
+  schedule_next_completion t
+
+and schedule_next_completion t =
+  let next =
+    List.fold_left
+      (fun acc e ->
+        let f = e.flow in
+        if f.Flow.state = Flow.Running && f.Flow.remaining <> infinity && f.Flow.rate > 0.0
+        then Float.min acc (f.Flow.remaining /. f.Flow.rate *. 1e9)
+        else acc)
+      infinity t.entries
+  in
+  if next < infinity then begin
+    let epoch = t.epoch in
+    Sim.schedule t.sim ~after:next (fun _ ->
+        match if epoch <> t.epoch then raise_notrace Stale with
+        | () -> handle_completions t
+        | exception Stale -> ())
+  end
+
+and handle_completions t =
+  sync t;
+  let completed, rest =
+    List.partition
+      (fun e -> e.flow.Flow.state = Flow.Running && e.flow.Flow.remaining <= 1.0)
+      t.entries
+  in
+  t.entries <- rest;
+  List.iter
+    (fun e ->
+      let f = e.flow in
+      f.Flow.state <- Flow.Completed;
+      f.Flow.remaining <- 0.0;
+      f.Flow.completed_at <- Sim.now t.sim;
+      f.Flow.rate <- 0.0)
+    completed;
+  reallocate t;
+  (* callbacks run after reallocation so they observe a consistent fabric *)
+  List.iter
+    (fun e ->
+      emit t (Flow_completed e.flow);
+      match e.flow.Flow.on_complete with Some cb -> cb e.flow | None -> ())
+    completed
+
+(* Capacity-consumption coefficient of a flow on one hop. *)
+let hop_coeff t ~payload_bytes ~working_set_pages (hop : T.Path.hop) =
+  match hop.link.T.Link.kind with
+  | T.Link.Pcie _ ->
+    let config = T.Topology.config t.topo in
+    let mps = min payload_bytes config.T.Hostconfig.pcie_mps in
+    let proto = 1.0 /. T.Pcie.payload_efficiency ~mps in
+    let iommu =
+      Iommu.bandwidth_overhead_factor config.T.Hostconfig.iommu ~working_set_pages
+        ~payload_bytes:mps
+    in
+    proto *. iommu
+  | T.Link.Cxl _ ->
+    (* 64 B flits with 2-4 B overhead and no IOMMU on the coherent
+       path: near-wire efficiency *)
+    1.04
+  | T.Link.Inter_socket | T.Link.Intra_socket | T.Link.Memory_channel | T.Link.Inter_host ->
+    1.0
+
+let usage_of_path t ~payload_bytes ~working_set_pages (path : T.Path.t) =
+  List.map
+    (fun (hop : T.Path.hop) ->
+      (res_of hop.link.T.Link.id hop.dir, hop_coeff t ~payload_bytes ~working_set_pages hop))
+    path.T.Path.hops
+
+let start_flow t ~tenant ?(cls = Flow.Payload) ?(weight = 1.0) ?(floor = 0.0) ?(cap = infinity)
+    ?(demand = infinity) ?payload_bytes ?(working_set_pages = 32) ?(llc_target = false)
+    ?on_complete ~path ~size () =
+  if not (T.Path.well_formed t.topo path) then invalid_arg "Fabric.start_flow: malformed path";
+  if weight <= 0.0 then invalid_arg "Fabric.start_flow: weight must be positive";
+  if floor < 0.0 || cap < 0.0 || demand < 0.0 then
+    invalid_arg "Fabric.start_flow: negative rate bound";
+  let payload_bytes =
+    match payload_bytes with
+    | Some p ->
+      if p <= 0 then invalid_arg "Fabric.start_flow: payload_bytes must be positive";
+      p
+    | None -> (T.Topology.config t.topo).T.Hostconfig.pcie_mps
+  in
+  if llc_target then begin
+    let dst_kind = (T.Topology.device t.topo path.T.Path.dst).T.Device.kind in
+    match dst_kind with
+    | T.Device.Cpu_socket _ -> ()
+    | _ -> invalid_arg "Fabric.start_flow: llc_target path must end at a CPU socket"
+  end;
+  let flow =
+    {
+      Flow.id = t.next_flow_id;
+      tenant;
+      cls;
+      path;
+      size;
+      demand;
+      payload_bytes;
+      llc_target;
+      started_at = Sim.now t.sim;
+      weight;
+      floor;
+      cap;
+      rate = 0.0;
+      remaining = (match size with Flow.Bytes b -> b | Flow.Unbounded -> infinity);
+      transferred = 0.0;
+      state = Flow.Running;
+      completed_at = nan;
+      on_complete;
+    }
+  in
+  t.next_flow_id <- t.next_flow_id + 1;
+  let usage = usage_of_path t ~payload_bytes ~working_set_pages path in
+  t.entries <- { flow; usage } :: t.entries;
+  reallocate t;
+  emit t (Flow_started flow);
+  flow
+
+let stop_flow t (f : Flow.t) =
+  if f.Flow.state = Flow.Running then begin
+    sync t;
+    f.Flow.state <- Flow.Stopped;
+    f.Flow.rate <- 0.0;
+    t.entries <- List.filter (fun e -> e.flow.Flow.id <> f.Flow.id) t.entries;
+    reallocate t;
+    emit t (Flow_stopped f)
+  end
+
+let set_flow_limits t (f : Flow.t) ?weight ?floor ?cap () =
+  Option.iter (fun w -> if w <= 0.0 then invalid_arg "set_flow_limits: weight" else f.Flow.weight <- w) weight;
+  Option.iter (fun x -> if x < 0.0 then invalid_arg "set_flow_limits: floor" else f.Flow.floor <- x) floor;
+  Option.iter (fun x -> if x < 0.0 then invalid_arg "set_flow_limits: cap" else f.Flow.cap <- x) cap;
+  if f.Flow.state = Flow.Running then reallocate t
+
+let active_flows t = List.rev_map (fun e -> e.flow) t.entries
+let flow_count t = List.length t.entries
+let refresh t = sync t
+
+let batch t f =
+  if t.in_batch then f ()
+  else begin
+    t.in_batch <- true;
+    Fun.protect
+      ~finally:(fun () ->
+        t.in_batch <- false;
+        reallocate t)
+      f
+  end
+
+let transfer_time t ~path ~bytes =
+  let usage = usage_of_path t ~payload_bytes:(T.Topology.config t.topo).T.Hostconfig.pcie_mps ~working_set_pages:32 path in
+  let caps = capacities t in
+  let existing = List.rev_map demand_of_entry t.entries in
+  let probe = { Fairshare.weight = 1.0; floor = 0.0; cap = infinity; usage } in
+  let demands = Array.of_list (existing @ [ probe ]) in
+  let rates = Fairshare.allocate ~capacities:caps demands in
+  let rate = rates.(Array.length rates - 1) in
+  if rate <= 0.0 then None else Some (bytes /. rate *. 1e9)
+
+let link_rate t link_id dir = t.load.(res_of link_id dir)
+
+let link_utilization t link_id dir =
+  let cap = effective_capacity t link_id dir in
+  let rate = link_rate t link_id dir in
+  if cap <= 0.0 then if rate > 0.0 then 1.0 else 0.0 else Float.min 1.0 (rate /. cap)
+
+let link_bytes t link_id dir =
+  sync t;
+  t.link_bytes.(res_of link_id dir)
+
+let tenant_link_bytes t link_id dir ~tenant =
+  sync t;
+  Option.value ~default:0.0 (Hashtbl.find_opt t.tenant_bytes_tbl (res_of link_id dir, tenant))
+
+let cls_link_bytes t link_id dir ~cls =
+  sync t;
+  Option.value ~default:0.0 (Hashtbl.find_opt t.cls_bytes_tbl (res_of link_id dir, cls_index cls))
+
+let tenant_bytes t ~tenant =
+  sync t;
+  Hashtbl.fold
+    (fun (_, tn) b acc -> if tn = tenant then acc +. b else acc)
+    t.tenant_bytes_tbl 0.0
+
+let crosses_root_complex t (path : T.Path.t) =
+  List.exists
+    (fun id ->
+      match (T.Topology.device t.topo id).T.Device.kind with
+      | T.Device.Root_complex -> true
+      | _ -> false)
+    (T.Path.devices path)
+
+let path_latency t ?(payload_bytes = 0) ?(working_set_pages = 32) (path : T.Path.t) =
+  let hops_latency =
+    List.fold_left
+      (fun acc (hop : T.Path.hop) ->
+        let f = Fault.get t.faults hop.link.T.Link.id in
+        let u = link_utilization t hop.link.T.Link.id hop.dir in
+        acc
+        +. Latency.hop_latency ~base:hop.link.T.Link.base_latency ~utilization:u
+             ~extra:f.Fault.extra_latency ())
+      0.0 path.T.Path.hops
+  in
+  let iommu_latency =
+    if crosses_root_complex t path then
+      Iommu.expected_translation_latency (T.Topology.config t.topo).T.Hostconfig.iommu
+        ~working_set_pages
+    else 0.0
+  in
+  let serialization =
+    if payload_bytes <= 0 then 0.0
+    else begin
+      (* a small message is serialized at roughly the rate a new flow
+         would get: the larger of residual capacity and a fair share *)
+      let rate =
+        List.fold_left
+          (fun acc (hop : T.Path.hop) ->
+            let res = res_of hop.link.T.Link.id hop.dir in
+            let cap = effective_capacity t hop.link.T.Link.id hop.dir in
+            let residual = Float.max 0.0 (cap -. t.load.(res)) in
+            let fair = cap /. float_of_int (t.flows_on.(res) + 1) in
+            Float.min acc (Float.max residual fair))
+          infinity path.T.Path.hops
+      in
+      if rate = infinity || rate <= 0.0 then 0.0
+      else Latency.serialization ~bytes:(float_of_int payload_bytes) ~rate
+    end
+  in
+  hops_latency +. iommu_latency +. serialization
+
+(* WFQ delay isolation: a flow holding a guaranteed floor is served at
+   least at that rate on every hop regardless of the aggregate queue, so
+   its queueing delay follows its OWN utilization of the guarantee, not
+   the aggregate's. Unmanaged flows (floor 0) see the aggregate. *)
+let flow_path_latency t ?(payload_bytes = 0) (flow : Flow.t) =
+  let path = flow.Flow.path in
+  let base = path_latency t ~payload_bytes path in
+  if flow.Flow.floor <= 0.0 then base
+  else begin
+    let own_u = Float.min 0.999 (flow.Flow.rate /. flow.Flow.floor) in
+    let hops_latency =
+      List.fold_left
+        (fun acc (hop : T.Path.hop) ->
+          let f = Fault.get t.faults hop.link.T.Link.id in
+          let agg_u = link_utilization t hop.link.T.Link.id hop.T.Path.dir in
+          let u = Float.min own_u agg_u in
+          acc
+          +. Latency.hop_latency ~base:hop.link.T.Link.base_latency ~utilization:u
+               ~extra:f.Fault.extra_latency ())
+        0.0 path.T.Path.hops
+    in
+    let iommu_latency =
+      if crosses_root_complex t path then
+        Iommu.expected_translation_latency (T.Topology.config t.topo).T.Hostconfig.iommu
+          ~working_set_pages:32
+      else 0.0
+    in
+    let serialization =
+      (* once its WFQ slot arrives the message moves at wire speed; the
+         waiting is already captured by the queueing term above *)
+      if payload_bytes <= 0 then 0.0
+      else
+        let bottleneck =
+          List.fold_left
+            (fun acc (hop : T.Path.hop) ->
+              Float.min acc (effective_capacity t hop.link.T.Link.id hop.T.Path.dir))
+            infinity path.T.Path.hops
+        in
+        if bottleneck <= 0.0 || bottleneck = infinity then 0.0
+        else Latency.serialization ~bytes:(float_of_int payload_bytes) ~rate:bottleneck
+    in
+    Float.min base (hops_latency +. iommu_latency +. serialization)
+  end
+
+let probe_loss_prob t (path : T.Path.t) =
+  let survive =
+    List.fold_left
+      (fun acc (hop : T.Path.hop) ->
+        let f = Fault.get t.faults hop.link.T.Link.id in
+        acc *. (1.0 -. f.Fault.loss_prob))
+      1.0 path.T.Path.hops
+  in
+  1.0 -. survive
+
+let ddio_write_rate t ~socket =
+  if socket >= 0 && socket < Array.length t.ddio_write then t.ddio_write.(socket) else 0.0
+
+let ddio_hit_rate t ~socket =
+  if socket >= 0 && socket < Array.length t.ddio_hit then t.ddio_hit.(socket) else 1.0
+
+let ddio_spill_rate t ~socket =
+  if socket >= 0 && socket < Array.length t.spill_wb then
+    t.spill_wb.(socket) +. t.spill_rr.(socket)
+  else 0.0
+
+let inject_fault t link_id fault =
+  Fault.inject t.faults link_id fault;
+  reallocate t;
+  emit t (Fault_injected (link_id, fault))
+
+let clear_fault t link_id =
+  Fault.clear t.faults link_id;
+  reallocate t;
+  emit t (Fault_cleared link_id)
+
+let clear_all_faults t =
+  Fault.clear_all t.faults;
+  reallocate t
+
+let fault_of t link_id = Fault.get t.faults link_id
+
+let on_device_links t device f =
+  batch t (fun () ->
+      List.iter (fun ((l : T.Link.t), _) -> f l.T.Link.id) (T.Topology.neighbors t.topo device))
+
+let fail_device t device = on_device_links t device (fun id -> inject_fault t id Fault.down)
+let revive_device t device = on_device_links t device (fun id -> clear_fault t id)
+
+let set_config t config =
+  T.Topology.set_config t.topo config;
+  t.cache <- Cache.create config.T.Hostconfig.ddio;
+  reallocate t
+
+let reallocations t = t.allocs

@@ -1,0 +1,181 @@
+(** The fabric runtime: topology + simulator + models, wired together.
+
+    The fabric owns the set of active flows and, whenever that set (or
+    a limit, fault or configuration) changes, recomputes every flow's
+    rate with {!Fairshare} over the per-(link, direction) capacities.
+    Between changes, rates are constant and flow progress is integrated
+    lazily, so simulated time advances in O(events), not O(time).
+
+    DDIO coupling: flows marked [llc_target] terminate at their CPU
+    socket; the per-socket {!Cache} model converts the aggregate DDIO
+    write rate into induced memory-bus traffic (write-back + re-read on
+    miss), which competes with explicit flows on the socket's memory
+    links. The rate/spill fixed point is resolved by a short damped
+    iteration at each reallocation.
+
+    This module also exports the raw byte counters and utilizations
+    that the monitoring layer samples — deliberately: the fabric is
+    "the hardware", and {!Ihnet_monitor} may only observe it through
+    these counters (at a configured fidelity), never through the
+    internal flow table. *)
+
+type t
+
+val create : ?seed:int -> Sim.t -> Ihnet_topology.Topology.t -> t
+val sim : t -> Sim.t
+val topology : t -> Ihnet_topology.Topology.t
+val rng : t -> Ihnet_util.Rng.t
+val now : t -> Ihnet_util.Units.ns
+
+(** {1 Flows} *)
+
+val start_flow :
+  t ->
+  tenant:int ->
+  ?cls:Flow.cls ->
+  ?weight:float ->
+  ?floor:float ->
+  ?cap:float ->
+  ?demand:float ->
+  ?payload_bytes:int ->
+  ?working_set_pages:int ->
+  ?llc_target:bool ->
+  ?on_complete:(Flow.t -> unit) ->
+  path:Ihnet_topology.Path.t ->
+  size:Flow.size ->
+  unit ->
+  Flow.t
+(** Starts a flow and triggers reallocation. [payload_bytes] defaults
+    to the host's PCIe MaxPayloadSize; [working_set_pages] (default
+    128) drives the IOMMU model. An [llc_target] flow must have a CPU
+    socket as one endpoint of its path.
+    @raise Invalid_argument on a malformed path or bad parameters. *)
+
+val stop_flow : t -> Flow.t -> unit
+(** Idempotent; completed flows are ignored. *)
+
+val set_flow_limits :
+  t -> Flow.t -> ?weight:float -> ?floor:float -> ?cap:float -> unit -> unit
+(** The arbiter's knob: update guarantees/limits and reallocate. *)
+
+val active_flows : t -> Flow.t list
+val flow_count : t -> int
+
+val refresh : t -> unit
+(** Integrate flow progress and byte counters up to the current
+    simulated time. Counter queries do this implicitly; call it before
+    reading [Flow.transferred]/[Flow.remaining] directly. *)
+
+val batch : t -> (unit -> unit) -> unit
+(** [batch t f] runs [f] with rate reallocation deferred, then
+    reallocates once. Used by the arbiter to push many limit updates as
+    a single enforcement action. Nested batches are flattened. *)
+
+(** {1 Event subscription}
+
+    The "software module interception" data source of §3.1-Q1: hooks on
+    the I/O control path. Unlike the counters these see every flow's
+    identity and boundaries (that is their fidelity advantage), but only
+    software-initiated events — induced DDIO traffic and silent faults
+    never surface here. *)
+
+type event =
+  | Flow_started of Flow.t
+  | Flow_completed of Flow.t
+  | Flow_stopped of Flow.t
+  | Fault_injected of Ihnet_topology.Link.id * Fault.link_fault
+      (** Only {e operator-injected} faults are announced (the operator
+          knows what they injected); genuinely silent degradations fire
+          no event — detecting those is the monitor's job. *)
+  | Fault_cleared of Ihnet_topology.Link.id
+
+val subscribe : t -> (event -> unit) -> unit
+(** Register a listener for all subsequent events. Listeners run
+    synchronously in registration order; there is no unsubscribe (wire
+    monitors at host setup). *)
+
+val transfer_time :
+  t -> path:Ihnet_topology.Path.t -> bytes:float -> Ihnet_util.Units.ns option
+(** One-shot what-if: time a [bytes]-sized transfer would take at the
+    rate a new flow would currently receive on [path] (without actually
+    starting it); [None] if it would get no bandwidth. *)
+
+(** {1 Telemetry surface (what real hardware counters expose)} *)
+
+val effective_capacity : t -> Ihnet_topology.Link.id -> Ihnet_topology.Link.dir -> float
+(** Link capacity after fault degradation, bytes/s. *)
+
+val link_rate : t -> Ihnet_topology.Link.id -> Ihnet_topology.Link.dir -> float
+(** Current aggregate allocated rate on the link direction (including
+    induced DDIO traffic and protocol overhead), bytes/s. *)
+
+val link_utilization : t -> Ihnet_topology.Link.id -> Ihnet_topology.Link.dir -> float
+(** [link_rate / effective_capacity], in [\[0,1\]]; 1.0 for a down link
+    carrying demand. *)
+
+val link_bytes : t -> Ihnet_topology.Link.id -> Ihnet_topology.Link.dir -> float
+(** Cumulative bytes moved across the link direction. *)
+
+val tenant_link_bytes :
+  t -> Ihnet_topology.Link.id -> Ihnet_topology.Link.dir -> tenant:int -> float
+(** Per-tenant cumulative bytes (the fine-grained counter real hardware
+    mostly lacks — §3.1-Q1; the monitor decides whether it may read
+    this). *)
+
+val cls_link_bytes :
+  t -> Ihnet_topology.Link.id -> Ihnet_topology.Link.dir -> cls:Flow.cls -> float
+
+val tenant_bytes : t -> tenant:int -> float
+(** Total bytes moved by a tenant across all links. *)
+
+(** {1 Latency} *)
+
+val path_latency :
+  t -> ?payload_bytes:int -> ?working_set_pages:int -> Ihnet_topology.Path.t ->
+  Ihnet_util.Units.ns
+(** Expected one-way latency of a message on [path] now: per-hop base
+    latency inflated by current utilization (plus fault extra delay),
+    plus IOMMU translation cost when the path crosses a root complex,
+    plus serialization of [payload_bytes] (default 0) at the path
+    bottleneck's residual rate. *)
+
+val flow_path_latency : t -> ?payload_bytes:int -> Flow.t -> Ihnet_util.Units.ns
+(** Like {!path_latency} for the path of a specific {e live} flow, but
+    honouring WFQ delay isolation: a flow with a guaranteed floor is
+    served at that rate on every hop, so its queueing delay follows its
+    own utilization of the guarantee ([rate/floor]) rather than the
+    aggregate link utilization — never worse than the unmanaged
+    estimate. This is how the arbiter's bandwidth guarantees also bound
+    latency. *)
+
+val probe_loss_prob : t -> Ihnet_topology.Path.t -> float
+(** Probability that a probe on [path] is lost to injected faults. *)
+
+(** {1 DDIO observability} *)
+
+val ddio_write_rate : t -> socket:int -> float
+(** Aggregate DDIO (LLC-targeted) write rate into the socket. *)
+
+val ddio_hit_rate : t -> socket:int -> float
+val ddio_spill_rate : t -> socket:int -> float
+(** Induced memory-bus traffic (bytes/s, both directions combined). *)
+
+(** {1 Faults and configuration} *)
+
+val inject_fault : t -> Ihnet_topology.Link.id -> Fault.link_fault -> unit
+val clear_fault : t -> Ihnet_topology.Link.id -> unit
+val clear_all_faults : t -> unit
+val fault_of : t -> Ihnet_topology.Link.id -> Fault.link_fault
+
+val fail_device : t -> Ihnet_topology.Device.id -> unit
+(** Take a device down: every incident link goes to {!Fault.down} in
+    one reallocation (flows through it starve; probes are lost). *)
+
+val revive_device : t -> Ihnet_topology.Device.id -> unit
+(** Clear the faults {!fail_device} installed. *)
+
+val set_config : t -> Ihnet_topology.Hostconfig.t -> unit
+(** Swap the host configuration (e.g. toggle DDIO) and reallocate. *)
+
+val reallocations : t -> int
+(** Number of reallocation passes so far (cost model for §3.2-Q3). *)

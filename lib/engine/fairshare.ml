@@ -1,0 +1,151 @@
+type demand = {
+  weight : float;
+  floor : float;
+  cap : float;
+  usage : (int * float) list;
+}
+
+let eps = 1e-9
+
+let allocate ~capacities demands =
+  let n = Array.length demands in
+  let nr = Array.length capacities in
+  Array.iter
+    (fun d ->
+      assert (d.weight > 0.0);
+      assert (d.floor >= 0.0);
+      assert (d.cap >= 0.0);
+      List.iter (fun (r, c) -> assert (r >= 0 && r < nr && c > 0.0)) d.usage)
+    demands;
+  let rates = Array.map (fun d -> Float.min d.floor d.cap) demands in
+  (* Floor feasibility. Each over-committed resource r gets a scale
+     s_r = cap_r / load_r < 1; a demand's floor is scaled by the worst
+     s_r among the resources it uses. This keeps infeasibility local: a
+     dead link only shrinks the guarantees of the flows crossing it. *)
+  let load = Array.make nr 0.0 in
+  Array.iteri
+    (fun i d -> List.iter (fun (r, c) -> load.(r) <- load.(r) +. (rates.(i) *. c)) d.usage)
+    demands;
+  let scale = Array.make nr 1.0 in
+  for r = 0 to nr - 1 do
+    if load.(r) > capacities.(r) then
+      scale.(r) <- (if load.(r) > 0.0 then capacities.(r) /. load.(r) else 0.0)
+  done;
+  Array.iteri
+    (fun i d ->
+      let f = List.fold_left (fun acc (r, _) -> Float.min acc scale.(r)) 1.0 d.usage in
+      if f < 1.0 then rates.(i) <- rates.(i) *. f)
+    demands;
+  (* Progressive filling from the floors. Demands with no usage are not
+     resource-constrained: they simply get their cap. *)
+  let active = Array.map (fun d -> d.usage <> []) demands in
+  Array.iteri (fun i d -> if d.usage = [] then rates.(i) <- d.cap) demands;
+  Array.iteri (fun i d -> if rates.(i) >= d.cap -. eps then active.(i) <- false) demands;
+  (* Only resources some demand actually uses can ever saturate; on a
+     large host most links are idle, so iterate over the used set. *)
+  let used_resources =
+    let seen = Array.make nr false in
+    let out = ref [] in
+    Array.iter
+      (fun d ->
+        List.iter
+          (fun (r, _) ->
+            if not seen.(r) then begin
+              seen.(r) <- true;
+              out := r :: !out
+            end)
+          d.usage)
+      demands;
+    !out
+  in
+  let saturated = Array.make nr false in
+  (* incremental per-resource load and per-resource active growth speed *)
+  let load = Array.make nr 0.0 in
+  let speed = Array.make nr 0.0 in
+  Array.iteri
+    (fun i d ->
+      List.iter
+        (fun (r, c) ->
+          load.(r) <- load.(r) +. (rates.(i) *. c);
+          if active.(i) then speed.(r) <- speed.(r) +. (d.weight *. c))
+        d.usage)
+    demands;
+  let deactivate i =
+    if active.(i) then begin
+      active.(i) <- false;
+      List.iter
+        (fun (r, c) -> speed.(r) <- speed.(r) -. (demands.(i).weight *. c))
+        demands.(i).usage
+    end
+  in
+  let continue = ref true in
+  let guard = ref (n + nr + 2) in
+  while !continue && !guard > 0 do
+    decr guard;
+    let any_active = Array.exists Fun.id active in
+    if not any_active then continue := false
+    else begin
+      (* time to saturate each used resource *)
+      let dt = ref infinity in
+      List.iter
+        (fun r ->
+          if (not saturated.(r)) && speed.(r) > eps then begin
+            let res = capacities.(r) -. load.(r) in
+            if res <= eps then dt := 0.0 else dt := Float.min !dt (res /. speed.(r))
+          end)
+        used_resources;
+      (* time for each active demand to hit its cap *)
+      Array.iteri
+        (fun i d ->
+          if active.(i) && d.cap < infinity then
+            dt := Float.min !dt ((d.cap -. rates.(i)) /. d.weight))
+        demands;
+      if !dt = infinity then begin
+        (* nothing constrains the remaining demands (cannot happen with
+           finite capacities on every used resource); freeze defensively *)
+        Array.iteri (fun i a -> if a then deactivate i) active;
+        continue := false
+      end
+      else begin
+        let dt = Float.max !dt 0.0 in
+        Array.iteri
+          (fun i d ->
+            if active.(i) then begin
+              let delta = d.weight *. dt in
+              rates.(i) <- rates.(i) +. delta;
+              List.iter (fun (r, c) -> load.(r) <- load.(r) +. (delta *. c)) d.usage
+            end)
+          demands;
+        (* freeze capped demands *)
+        Array.iteri
+          (fun i d ->
+            if active.(i) && rates.(i) >= d.cap -. (eps *. Float.max 1.0 d.cap) then begin
+              List.iter (fun (r, c) -> load.(r) <- load.(r) +. ((d.cap -. rates.(i)) *. c)) d.usage;
+              rates.(i) <- d.cap;
+              deactivate i
+            end)
+          demands;
+        (* saturate resources and freeze their demands *)
+        List.iter
+          (fun r ->
+            if
+              (not saturated.(r))
+              && capacities.(r) -. load.(r) <= eps *. Float.max 1.0 capacities.(r)
+            then begin
+              saturated.(r) <- true;
+              Array.iteri
+                (fun i d ->
+                  if active.(i) && List.exists (fun (r', _) -> r' = r) d.usage then deactivate i)
+                demands
+            end)
+          used_resources
+      end
+    end
+  done;
+  rates
+
+let max_min_fair ~capacities usages =
+  let demands =
+    Array.map (fun usage -> { weight = 1.0; floor = 0.0; cap = infinity; usage }) usages
+  in
+  allocate ~capacities demands

@@ -1,0 +1,40 @@
+(** Weighted max-min fair rate allocation with floors and caps
+    (progressive filling / water-filling).
+
+    This is the engine's bandwidth-sharing law and simultaneously the
+    arbiter's enforcement mechanism: the arbiter expresses guarantees as
+    per-flow {e floors} and limits as {e caps}, and the same filling
+    algorithm realizes both (a pure reservation system is
+    [floor = cap]; a work-conserving one leaves [cap = infinity]).
+
+    A demand consumes [coeff × rate] on each resource it uses; the
+    coefficient models protocol inefficiency (e.g. a 64 B-payload DMA
+    stream consumes ~1.4× its goodput on a PCIe link in TLP headers). *)
+
+type demand = {
+  weight : float;  (** Filling speed; must be > 0. *)
+  floor : float;  (** Guaranteed rate (bytes/s); >= 0. *)
+  cap : float;  (** Ceiling — already folded with the source's offered
+                    rate; [infinity] when elastic. *)
+  usage : (int * float) list;
+      (** (resource index, coefficient) pairs, coefficient >= 1
+          typically; a resource may appear once per demand. *)
+}
+
+val allocate : capacities:float array -> demand array -> float array
+(** [allocate ~capacities demands] returns one rate per demand such
+    that:
+    - no resource's aggregate coefficient-weighted rate exceeds its
+      capacity (up to rounding);
+    - every demand receives at least its floor, unless floors are
+      jointly infeasible, in which case {e all} floors are scaled down
+      by the single factor that restores feasibility;
+    - no demand exceeds its cap;
+    - the remaining capacity is filled max-min fairly in proportion to
+      the weights.
+
+    Demands with an empty [usage] get their cap. *)
+
+val max_min_fair : capacities:float array -> (int * float) list array -> float array
+(** Unweighted, floorless, capless convenience wrapper (weight 1,
+    floor 0, cap ∞). *)

@@ -1,0 +1,26 @@
+type link_fault = {
+  capacity_factor : float;
+  extra_latency : Ihnet_util.Units.ns;
+  loss_prob : float;
+}
+
+type t = (Ihnet_topology.Link.id, link_fault) Hashtbl.t
+
+let create () = Hashtbl.create 8
+let healthy = { capacity_factor = 1.0; extra_latency = 0.0; loss_prob = 0.0 }
+
+let inject t id f =
+  assert (f.capacity_factor >= 0.0 && f.capacity_factor <= 1.0);
+  assert (f.loss_prob >= 0.0 && f.loss_prob <= 1.0);
+  assert (f.extra_latency >= 0.0);
+  Hashtbl.replace t id f
+
+let clear t id = Hashtbl.remove t id
+let clear_all t = Hashtbl.reset t
+let get t id = Option.value ~default:healthy (Hashtbl.find_opt t id)
+let faulty_links t = Hashtbl.fold (fun id f acc -> (id, f) :: acc) t []
+
+let degrade ~capacity_factor ?(extra_latency = 0.0) () =
+  { capacity_factor; extra_latency; loss_prob = 0.0 }
+
+let down = { capacity_factor = 0.0; extra_latency = 0.0; loss_prob = 1.0 }

@@ -1,0 +1,14 @@
+let beta = 0.5
+let max_inflation = 100.0
+
+let hop_latency ~base ~utilization ?(extra = 0.0) () =
+  let u = Float.min 0.999 (Float.max 0.0 utilization) in
+  let inflation = Float.min max_inflation (1.0 +. (beta *. u /. (1.0 -. u))) in
+  (base +. extra) *. inflation
+
+let serialization ~bytes ~rate =
+  if rate = infinity then 0.0
+  else begin
+    assert (rate > 0.0);
+    bytes /. rate *. 1e9
+  end

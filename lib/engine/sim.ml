@@ -1,0 +1,48 @@
+type t = { mutable clock : float; queue : (t -> unit) Ihnet_util.Heap.t }
+
+let create () = { clock = 0.0; queue = Ihnet_util.Heap.create () }
+let now t = t.clock
+
+let schedule_at t time f =
+  let time = Float.max time t.clock in
+  Ihnet_util.Heap.push t.queue time f
+
+let schedule t ~after f =
+  assert (after >= 0.0);
+  schedule_at t (t.clock +. after) f
+
+let every t ~period ?until f =
+  assert (period > 0.0);
+  let rec tick sim =
+    match until with
+    | Some u when sim.clock > u -> ()
+    | _ ->
+      f sim;
+      (match until with
+      | Some u when sim.clock +. period > u -> ()
+      | _ -> schedule sim ~after:period tick)
+  in
+  schedule t ~after:period tick
+
+let step t =
+  match Ihnet_util.Heap.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- Float.max t.clock time;
+    f t;
+    true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some u ->
+    let continue = ref true in
+    while !continue do
+      match Ihnet_util.Heap.peek t.queue with
+      | Some (time, _) when time <= u -> ignore (step t)
+      | Some _ | None ->
+        t.clock <- Float.max t.clock u;
+        continue := false
+    done
+
+let pending t = Ihnet_util.Heap.size t.queue

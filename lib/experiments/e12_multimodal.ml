@@ -1,0 +1,232 @@
+(* E12 — §3.1-Q3: "Intra-host networks are more heterogeneous, so the
+   collected data will have more modalities ... using machine learning
+   may be more essential in order to leverage these high-modality data
+   for diagnosis."
+
+   A gray failure that no single hardware counter shows: a co-tenant
+   silently changes its DMA buffer placement, pushing the socket's DDIO
+   I/O-ways past their absorbing rate. Every link's utilization barely
+   moves (the flows themselves are unchanged in rate), but jointly the
+   modalities — DDIO hit rate, per-channel memory traffic, PCIe
+   utilizations — shift by ~1σ each under 3% counter-read noise.
+
+   Three detector configurations race to catch it:
+   - per-series CUSUM on link-utilization series only (the homogeneous
+     "inter-host style" counter set);
+   - per-series CUSUM on utilization + DDIO modalities (needs to know
+     which extra series matter);
+   - the multimodal learner over all of it, no feature selection. *)
+
+module E = Ihnet_engine
+module T = Ihnet_topology
+module U = Ihnet_util
+module Mon = Ihnet_monitor
+open Common
+
+let noise = 0.02 (* absolute, utilization points *)
+let period = U.Units.us 100.0
+
+let util_series_of host =
+  let topo = Ihnet.Host.topology host in
+  List.concat_map
+    (fun (l : T.Link.t) ->
+      [ Mon.Sampler.util_series l.T.Link.id T.Link.Fwd;
+        Mon.Sampler.util_series l.T.Link.id T.Link.Rev ])
+    (T.Topology.links topo)
+
+let modal_series = [ Mon.Sampler.ddio_series ~socket:0; Mon.Sampler.ddio_series ~socket:1 ]
+
+(* Baseline: one busy DDIO writer, striped direct DMA writes, and
+   striped reads — every memory channel carries traffic both ways. *)
+let start_baseline host =
+  let fab = Ihnet.Host.fabric host in
+  let topo = Ihnet.Host.topology host in
+  let route a b =
+    Option.get (T.Routing.shortest_path topo (device_id host a) (device_id host b))
+  in
+  ignore
+    (E.Fabric.start_flow fab ~tenant:1 ~demand:26e9 ~llc_target:true
+       ~path:(route "nic0" "socket0") ~size:E.Flow.Unbounded ());
+  let dimms = List.init 6 (fun i -> Printf.sprintf "dimm0.%d.%d" (i / 3) (i mod 3)) in
+  let direct =
+    List.map
+      (fun d ->
+        E.Fabric.start_flow fab ~tenant:2 ~demand:1.5e9 ~path:(route "nic1" d)
+          ~size:E.Flow.Unbounded ())
+      dimms
+  in
+  List.iter
+    (fun d ->
+      ignore
+        (E.Fabric.start_flow fab ~tenant:3 ~demand:1.0e9 ~path:(route d "ssd0")
+           ~size:E.Flow.Unbounded ()))
+    dimms;
+  direct
+
+(* The anomaly: tenant 2 re-targets its 9 GB/s of DMA from the DIMMs to
+   the LLC (a buffer-placement change) — same NIC, same rate. *)
+let inject_anomaly host direct =
+  let fab = Ihnet.Host.fabric host in
+  let topo = Ihnet.Host.topology host in
+  let route a b =
+    Option.get (T.Routing.shortest_path topo (device_id host a) (device_id host b))
+  in
+  List.iter (E.Fabric.stop_flow fab) direct;
+  ignore
+    (E.Fabric.start_flow fab ~tenant:2 ~demand:9e9 ~llc_target:true
+       ~path:(route "nic1" "socket0") ~size:E.Flow.Unbounded ())
+
+type outcome = { false_alarms : int; latency : float (* ns; nan = not detected *) }
+
+let run_race () =
+  let host = fresh_host () in
+  let sampler =
+    Mon.Sampler.start (Ihnet.Host.fabric host)
+      {
+        (Mon.Sampler.default_config ()) with
+        Mon.Sampler.period;
+        fidelity = Mon.Counter.Oracle;
+        noise;
+      }
+  in
+  let utils = util_series_of host in
+  let cusum_utils = Mon.Anomaly.create () in
+  List.iter
+    (fun s -> Mon.Anomaly.watch cusum_utils ~series:s (Mon.Anomaly.Cusum { drift = 0.5; threshold = 8.0 }))
+    utils;
+  (* the same util-only detector with its threshold raised until the
+     noisy baseline is quiet: what an operator would actually deploy *)
+  let cusum_tuned = Mon.Anomaly.create () in
+  List.iter
+    (fun s -> Mon.Anomaly.watch cusum_tuned ~series:s (Mon.Anomaly.Cusum { drift = 0.5; threshold = 20.0 }))
+    utils;
+  let cusum_all = Mon.Anomaly.create () in
+  List.iter
+    (fun s -> Mon.Anomaly.watch cusum_all ~series:s (Mon.Anomaly.Cusum { drift = 0.5; threshold = 8.0 }))
+    (utils @ modal_series);
+  let multimodal = Mon.Multimodal.create ~series:(utils @ modal_series) () in
+  let feed () =
+    Mon.Anomaly.feed cusum_utils (Mon.Sampler.telemetry sampler);
+    Mon.Anomaly.feed cusum_tuned (Mon.Sampler.telemetry sampler);
+    Mon.Anomaly.feed cusum_all (Mon.Sampler.telemetry sampler);
+    ignore (Mon.Multimodal.feed multimodal (Mon.Sampler.telemetry sampler))
+  in
+  let direct = start_baseline host in
+  (* learn + quiet period: 40 ms = 400 samples *)
+  for _ = 1 to 400 do
+    Ihnet.Host.run_for host period;
+    feed ()
+  done;
+  let fp_utils = List.length (Mon.Anomaly.alarms cusum_utils) in
+  let fp_tuned = List.length (Mon.Anomaly.alarms cusum_tuned) in
+  let fp_all = List.length (Mon.Anomaly.alarms cusum_all) in
+  let fp_multi = List.length (Mon.Multimodal.alarms multimodal) in
+  Mon.Anomaly.clear_alarms cusum_utils;
+  Mon.Anomaly.clear_alarms cusum_tuned;
+  Mon.Anomaly.clear_alarms cusum_all;
+  let t_anomaly = Ihnet.Host.now host in
+  inject_anomaly host direct;
+  for _ = 1 to 400 do
+    Ihnet.Host.run_for host period;
+    feed ()
+  done;
+  let latency_of = function
+    | Some at when at >= t_anomaly -> at -. t_anomaly
+    | Some _ | None -> nan
+  in
+  let out_utils =
+    {
+      false_alarms = fp_utils;
+      latency =
+        latency_of (Option.map (fun (a : Mon.Anomaly.alarm) -> a.Mon.Anomaly.at)
+                      (Mon.Anomaly.first_alarm cusum_utils));
+    }
+  in
+  let out_tuned =
+    {
+      false_alarms = fp_tuned;
+      latency =
+        latency_of (Option.map (fun (a : Mon.Anomaly.alarm) -> a.Mon.Anomaly.at)
+                      (Mon.Anomaly.first_alarm cusum_tuned));
+    }
+  in
+  let out_all =
+    {
+      false_alarms = fp_all;
+      latency =
+        latency_of (Option.map (fun (a : Mon.Anomaly.alarm) -> a.Mon.Anomaly.at)
+                      (Mon.Anomaly.first_alarm cusum_all));
+    }
+  in
+  let multi_first =
+    List.find_opt
+      (fun (a : Mon.Multimodal.alarm) -> a.Mon.Multimodal.at >= t_anomaly)
+      (Mon.Multimodal.alarms multimodal)
+  in
+  let out_multi =
+    {
+      false_alarms = fp_multi;
+      latency =
+        latency_of (Option.map (fun (a : Mon.Multimodal.alarm) -> a.Mon.Multimodal.at) multi_first);
+    }
+  in
+  (* what drove the alarm, captured at alarm time *)
+  let explanation =
+    match multi_first with
+    | Some a -> (
+      match a.Mon.Multimodal.drivers with
+      | (series, z) :: _ -> Printf.sprintf "%s (|z|=%.1f)" series z
+      | [] -> "-")
+    | None -> "-"
+  in
+  Mon.Sampler.stop sampler;
+  (out_utils, out_tuned, out_all, out_multi, List.length utils, explanation)
+
+let run () =
+  let utils, tuned, all, multi, n_utils, explanation = run_race () in
+  let table =
+    U.Table.create
+      ~title:"E12: gray-failure detection — homogeneous counters vs high-modality data"
+      ~columns:[ "detector"; "series watched"; "false alarms (40ms)"; "detection latency" ]
+  in
+  let row label n (o : outcome) =
+    U.Table.add_row table
+      [
+        label;
+        string_of_int n;
+        string_of_int o.false_alarms;
+        (if Float.is_nan o.latency then "not detected"
+         else Format.asprintf "%a" U.Units.pp_time o.latency);
+      ]
+  in
+  row "per-series CUSUM(8), link utils only" n_utils utils;
+  row "per-series CUSUM(20), link utils only" n_utils tuned;
+  row "per-series CUSUM(8), + ddio modality" (n_utils + 2) all;
+  row "multimodal learner, all series" (n_utils + 2) multi;
+  let ok =
+    (not (Float.is_nan multi.latency))
+    && multi.false_alarms = 0
+    && (utils.false_alarms > 3 (* noisy per-series detector is unusable as-is *)
+       || Float.is_nan utils.latency)
+    && (Float.is_nan tuned.latency || tuned.latency >= multi.latency)
+  in
+  {
+    id = "E12";
+    title = "high-modality data is what makes gray failures detectable";
+    claim =
+      "heterogeneous modalities (DDIO cache usage, PCIe bandwidth, ...) carry the diagnosis \
+       signal; learned multivariate detection leverages them (Q3)";
+    tables = [ table ];
+    verdict =
+      Printf.sprintf
+        "util-only CUSUM: %d false alarms per 40 ms at the sensitive threshold, %s once \
+         tuned quiet; the multimodal learner detects in %s with 0 false alarms and names \
+         the modality (%s) — %s"
+        utils.false_alarms
+        (if Float.is_nan tuned.latency then "blind"
+         else Format.asprintf "%a" U.Units.pp_time tuned.latency)
+        (if Float.is_nan multi.latency then "NEVER"
+         else Format.asprintf "%a" U.Units.pp_time multi.latency)
+        explanation
+        (if ok then "matches the paper's Q3 argument" else "MISMATCH");
+  }

@@ -1,0 +1,59 @@
+(* E2 — §1/§2: "the microsecond-level intra-host latency can become a
+   main contributor to the end-to-end latency".
+
+   A remote RDMA access entering through nic0 toward host memory
+   traverses classes (5),(4),(3),(2) of Figure 1; we decompose its
+   one-way latency hop by hop, idle and under PCIe congestion, and
+   report the intra-host share. *)
+
+module U = Ihnet_util
+module W = Ihnet_workload
+open Common
+
+let breakdown_table host ~title =
+  let fab = Ihnet.Host.fabric host in
+  let hops = W.Rdma.remote_read_breakdown fab ~nic:"nic0" ~target:"dimm0.0.0" in
+  let table =
+    U.Table.create ~title ~columns:[ "hop"; "figure-1 class"; "latency" ]
+  in
+  List.iter
+    (fun (h : W.Rdma.hop_breakdown) ->
+      U.Table.add_row table
+        [
+          h.W.Rdma.label;
+          (match h.W.Rdma.figure1_class with Some c -> Printf.sprintf "(%d)" c | None -> "-");
+          Format.asprintf "%a" U.Units.pp_time h.W.Rdma.latency;
+        ])
+    hops;
+  let total = List.fold_left (fun acc (h : W.Rdma.hop_breakdown) -> acc +. h.W.Rdma.latency) 0.0 hops in
+  let share = W.Rdma.intra_host_share fab ~nic:"nic0" ~target:"dimm0.0.0" in
+  U.Table.add_row table
+    [ "TOTAL one-way"; ""; Format.asprintf "%a" U.Units.pp_time total ];
+  U.Table.add_row table
+    [ "intra-host share"; ""; Printf.sprintf "%.0f%%" (share *. 100.0) ];
+  (table, share)
+
+let run () =
+  let host = fresh_host () in
+  let idle_table, idle_share = breakdown_table host ~title:"E2a: remote read latency, idle host" in
+  (* congest the PCIe subtree with a loopback aggressor *)
+  let lb = W.Rdma.start_loopback (Ihnet.Host.fabric host) ~tenant:2 ~nic:"nic0" () in
+  Ihnet.Host.run_for host (U.Units.ms 2.0);
+  let busy_table, busy_share =
+    breakdown_table host ~title:"E2b: same path under PCIe congestion (loopback aggressor)"
+  in
+  W.Rdma.stop_loopback lb;
+  let sane = idle_share > 0.1 && idle_share < 0.6 && busy_share > idle_share in
+  {
+    id = "E2";
+    title = "intra-host share of end-to-end latency";
+    claim =
+      "intra-host latency is sub-us to a few us and 'no longer negligible'; under congestion \
+       the intra-host network 'can even be the bottleneck'";
+    tables = [ idle_table; busy_table ];
+    verdict =
+      Printf.sprintf
+        "idle: intra-host = %.0f%% of one-way latency; congested: %.0f%% — %s"
+        (idle_share *. 100.0) (busy_share *. 100.0)
+        (if sane then "matches the paper's claim" else "MISMATCH");
+  }

@@ -1,0 +1,129 @@
+module Fabric = Ihnet_engine.Fabric
+module Flow = Ihnet_engine.Flow
+module Sim = Ihnet_engine.Sim
+module U = Ihnet_util
+
+type t = {
+  fabric : Fabric.t;
+  reaction_delay : U.Units.ns;
+  mutable placements : Placement.t list;
+  mutable decisions : int;
+  mutable shim_running : bool;
+  floors : (int, float) Hashtbl.t; (* flow id -> installed floor *)
+}
+
+let create fabric ?(reaction_delay = 0.0) () =
+  assert (reaction_delay >= 0.0);
+  {
+    fabric;
+    reaction_delay;
+    placements = [];
+    decisions = 0;
+    shim_running = false;
+    floors = Hashtbl.create 32;
+  }
+
+let placements t = t.placements
+
+let enforce t (flow : Flow.t) ~floor ~cap =
+  t.decisions <- t.decisions + 1;
+  Hashtbl.replace t.floors flow.Flow.id floor;
+  let apply _ =
+    if flow.Flow.state = Flow.Running then
+      Fabric.set_flow_limits t.fabric flow ~floor ~cap ()
+  in
+  if t.reaction_delay > 0.0 then Sim.schedule (Fabric.sim t.fabric) ~after:t.reaction_delay apply
+  else apply (Fabric.sim t.fabric)
+
+let release_flow t (flow : Flow.t) =
+  if Hashtbl.mem t.floors flow.Flow.id then begin
+    Hashtbl.remove t.floors flow.Flow.id;
+    t.decisions <- t.decisions + 1;
+    if flow.Flow.state = Flow.Running then
+      Fabric.set_flow_limits t.fabric flow ~floor:0.0 ~cap:infinity ()
+  end
+
+(* Recompute per-flow shares of one placement. *)
+let refresh_placement t (p : Placement.t) =
+  p.Placement.attached <-
+    List.filter (fun (f : Flow.t) -> f.Flow.state = Flow.Running) p.Placement.attached;
+  let n = List.length p.Placement.attached in
+  if n > 0 then begin
+    let share = p.Placement.rate /. float_of_int n in
+    let cap = if p.Placement.work_conserving then infinity else share in
+    List.iter (fun f -> enforce t f ~floor:share ~cap) p.Placement.attached
+  end
+
+(* one fabric enforcement action for the whole pass *)
+let refresh t = Fabric.batch t.fabric (fun () -> List.iter (refresh_placement t) t.placements)
+
+let add_placement t p =
+  t.placements <- t.placements @ [ p ];
+  refresh_placement t p
+
+let remove_placement t p =
+  t.placements <- List.filter (fun q -> q != p) t.placements;
+  List.iter (release_flow t) p.Placement.attached;
+  p.Placement.attached <- []
+
+(* Pipes first so a flow that matches both a pipe and a hose is charged
+   to the more specific guarantee. *)
+let candidates_for t flow =
+  let pipes, hoses =
+    List.partition (fun p -> p.Placement.kind = Placement.Pipe_fwd) t.placements
+  in
+  List.filter (fun p -> Placement.matches p flow) (pipes @ hoses)
+
+let attach_placement t (flow : Flow.t) =
+  match candidates_for t flow with
+  | [] -> None
+  | p :: _ ->
+    if not (List.exists (fun (f : Flow.t) -> f.Flow.id = flow.Flow.id) p.Placement.attached)
+    then begin
+      p.Placement.attached <- flow :: p.Placement.attached;
+      refresh_placement t p
+    end;
+    Some p
+
+let attach t flow = Option.is_some (attach_placement t flow)
+
+let detach t (flow : Flow.t) =
+  List.iter
+    (fun p ->
+      if List.exists (fun (f : Flow.t) -> f.Flow.id = flow.Flow.id) p.Placement.attached
+      then begin
+        p.Placement.attached <-
+          List.filter (fun (f : Flow.t) -> f.Flow.id <> flow.Flow.id) p.Placement.attached;
+        release_flow t flow;
+        refresh_placement t p
+      end)
+    t.placements
+
+let is_attached t (flow : Flow.t) =
+  List.exists
+    (fun p -> List.exists (fun (f : Flow.t) -> f.Flow.id = flow.Flow.id) p.Placement.attached)
+    t.placements
+
+let start_shim ?attach:attach_opt t ~period =
+  assert (period > 0.0);
+  let attach_fn = match attach_opt with Some f -> f | None -> attach t in
+  if not t.shim_running then begin
+    t.shim_running <- true;
+    let rec tick _ =
+      if t.shim_running then begin
+        refresh t;
+        List.iter
+          (fun (f : Flow.t) ->
+            if f.Flow.cls = Flow.Payload && not (is_attached t f) then ignore (attach_fn f))
+          (Fabric.active_flows t.fabric);
+        Sim.schedule (Fabric.sim t.fabric) ~after:period tick
+      end
+    in
+    Sim.schedule (Fabric.sim t.fabric) ~after:0.0 tick
+  end
+
+let stop_shim t = t.shim_running <- false
+let decisions t = t.decisions
+
+let guaranteed_of t (flow : Flow.t) =
+  Option.value ~default:0.0 (Hashtbl.find_opt t.floors flow.Flow.id)

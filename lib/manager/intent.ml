@@ -1,0 +1,63 @@
+type target =
+  | Pipe of { src : string; dst : string; rate : float }
+  | Hose of { endpoint : string; to_host : float; from_host : float }
+
+type t = {
+  tenant : int;
+  targets : target list;
+  latency_bound : Ihnet_util.Units.ns option;
+  work_conserving : bool;
+}
+
+let pipe ~tenant ~src ~dst ~rate =
+  { tenant; targets = [ Pipe { src; dst; rate } ]; latency_bound = None; work_conserving = true }
+
+let hose ~tenant ~endpoint ~to_host ~from_host =
+  {
+    tenant;
+    targets = [ Hose { endpoint; to_host; from_host } ];
+    latency_bound = None;
+    work_conserving = true;
+  }
+
+let validate t =
+  if t.targets = [] then Error "intent has no targets"
+  else begin
+    let bad =
+      List.find_opt
+        (fun tgt ->
+          match tgt with
+          | Pipe { rate; _ } -> rate <= 0.0
+          | Hose { to_host; from_host; _ } -> to_host < 0.0 || from_host < 0.0 || to_host +. from_host <= 0.0)
+        t.targets
+    in
+    match bad with
+    | Some _ -> Error "intent target with non-positive rate"
+    | None -> (
+      match t.latency_bound with
+      | Some b when b <= 0.0 -> Error "non-positive latency bound"
+      | Some _ | None -> Ok ())
+  end
+
+let total_guaranteed t =
+  List.fold_left
+    (fun acc tgt ->
+      acc
+      +.
+      match tgt with
+      | Pipe { rate; _ } -> rate
+      | Hose { to_host; from_host; _ } -> to_host +. from_host)
+    0.0 t.targets
+
+let pp ppf t =
+  let target ppf = function
+    | Pipe { src; dst; rate } ->
+      Format.fprintf ppf "pipe %s->%s %a" src dst Ihnet_util.Units.pp_rate rate
+    | Hose { endpoint; to_host; from_host } ->
+      Format.fprintf ppf "hose %s in:%a out:%a" endpoint Ihnet_util.Units.pp_rate to_host
+        Ihnet_util.Units.pp_rate from_host
+  in
+  Format.fprintf ppf "tenant %d {%a}%s" t.tenant
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") target)
+    t.targets
+    (if t.work_conserving then " wc" else "")

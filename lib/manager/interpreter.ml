@@ -1,0 +1,97 @@
+module T = Ihnet_topology
+
+type requirement = {
+  tenant : int;
+  kind : Placement.kind;
+  rate : float;
+  src : T.Device.id;
+  dst : T.Device.id;
+  candidates : T.Path.t list;
+  work_conserving : bool;
+  latency_bound : Ihnet_util.Units.ns option;
+}
+
+let ( let* ) = Result.bind
+
+let find_device topo name =
+  match T.Topology.device_by_name topo name with
+  | Some d -> Ok d
+  | None -> Error (Printf.sprintf "unknown device %S" name)
+
+let home_socket topo (d : T.Device.t) =
+  let name = Printf.sprintf "socket%d" d.T.Device.socket in
+  match T.Topology.device_by_name topo name with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "device %s has no home socket %s" d.T.Device.name name)
+
+let filter_latency latency_bound candidates =
+  match latency_bound with
+  | None -> candidates
+  | Some bound -> List.filter (fun p -> T.Path.base_latency p <= bound) candidates
+
+let compile topo ?(k_paths = 4) (intent : Intent.t) =
+  let* () = Intent.validate intent in
+  let compile_target = function
+    | Intent.Pipe { src; dst; rate } ->
+      let* s = find_device topo src in
+      let* d = find_device topo dst in
+      let candidates =
+        T.Routing.k_shortest_paths ~k:k_paths topo s.T.Device.id d.T.Device.id
+        |> List.filter (fun (p : T.Path.t) -> p.T.Path.hops <> [])
+        |> filter_latency intent.Intent.latency_bound
+      in
+      if candidates = [] then
+        Error (Printf.sprintf "no feasible path %s -> %s (latency bound too tight?)" src dst)
+      else
+        Ok
+          [
+            {
+              tenant = intent.Intent.tenant;
+              kind = Placement.Pipe_fwd;
+              rate;
+              src = s.T.Device.id;
+              dst = d.T.Device.id;
+              candidates;
+              work_conserving = intent.Intent.work_conserving;
+              latency_bound = intent.Intent.latency_bound;
+            };
+          ]
+    | Intent.Hose { endpoint; to_host; from_host } ->
+      let* e = find_device topo endpoint in
+      let* sock = home_socket topo e in
+      let* up =
+        match T.Routing.shortest_path topo e.T.Device.id sock.T.Device.id with
+        | Some p when p.T.Path.hops <> [] -> Ok p
+        | Some _ | None ->
+          Error (Printf.sprintf "no uplink path from %s to its socket" endpoint)
+      in
+      let* down =
+        match T.Routing.shortest_path topo sock.T.Device.id e.T.Device.id with
+        | Some p when p.T.Path.hops <> [] -> Ok p
+        | Some _ | None ->
+          Error (Printf.sprintf "no downlink path from socket to %s" endpoint)
+      in
+      let mk kind rate (path : T.Path.t) =
+        {
+          tenant = intent.Intent.tenant;
+          kind;
+          rate;
+          src = path.T.Path.src;
+          dst = path.T.Path.dst;
+          candidates = [ path ];
+          work_conserving = intent.Intent.work_conserving;
+          latency_bound = intent.Intent.latency_bound;
+        }
+      in
+      let reqs =
+        (if to_host > 0.0 then [ mk Placement.Hose_to_host to_host up ] else [])
+        @ if from_host > 0.0 then [ mk Placement.Hose_from_host from_host down ] else []
+      in
+      Ok reqs
+  in
+  List.fold_left
+    (fun acc target ->
+      let* acc = acc in
+      let* reqs = compile_target target in
+      Ok (acc @ reqs))
+    (Ok []) intent.Intent.targets

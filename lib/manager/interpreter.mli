@@ -1,0 +1,31 @@
+(** The performance-target interpreter (§3.2).
+
+    Compiles an {!Intent.t} into low-level {e requirements}: concrete
+    endpoint pairs with rates and candidate paths. "The interpreter
+    needs to generate the requirements in a holistic way, enabling
+    different components to collaboratively provide end-to-end
+    allocation" — concretely, a 20 Gb/s pipe between NIC and GPU
+    becomes a 2.5 GB/s reservation on every hop of a chosen NIC–GPU
+    path: PCIe links, root complex segment, and (for memory targets)
+    the memory bus. *)
+
+type requirement = {
+  tenant : int;
+  kind : Placement.kind;
+  rate : float;
+  src : Ihnet_topology.Device.id;
+  dst : Ihnet_topology.Device.id;
+  candidates : Ihnet_topology.Path.t list;
+      (** Alternative pathways, best (shortest) first; the scheduler
+          picks one. Hose requirements have exactly one candidate (the
+          endpoint's uplink to its home socket). *)
+  work_conserving : bool;
+  latency_bound : Ihnet_util.Units.ns option;
+}
+
+val compile :
+  Ihnet_topology.Topology.t -> ?k_paths:int -> Intent.t -> (requirement list, string) result
+(** [k_paths] (default 4) bounds the candidate set per pipe. Fails on
+    unknown device names, unreachable pairs, or invalid intents. A
+    [latency_bound] drops candidate paths whose base latency exceeds
+    it (and fails if none survives). *)

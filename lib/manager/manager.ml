@@ -1,0 +1,81 @@
+module Fabric = Ihnet_engine.Fabric
+
+type t = {
+  fabric : Fabric.t;
+  k_paths : int;
+  scheduler : Scheduler.t;
+  arbiter : Arbiter.t;
+  mutable live : Placement.t list;
+}
+
+let create fabric ?(headroom = 0.9) ?(k_paths = 4) ?reaction_delay () =
+  {
+    fabric;
+    k_paths;
+    scheduler = Scheduler.create (Fabric.topology fabric) ~headroom ();
+    arbiter = Arbiter.create fabric ?reaction_delay ();
+    live = [];
+  }
+
+let fabric t = t.fabric
+let scheduler t = t.scheduler
+let arbiter t = t.arbiter
+
+let submit t intent =
+  let ( let* ) = Result.bind in
+  let* reqs = Interpreter.compile (Fabric.topology t.fabric) ~k_paths:t.k_paths intent in
+  let* placements = Scheduler.place_all t.scheduler reqs in
+  List.iter
+    (fun p ->
+      t.live <- p :: t.live;
+      Arbiter.add_placement t.arbiter p)
+    placements;
+  Ok placements
+
+let revoke t ~tenant =
+  let gone, kept = List.partition (fun p -> p.Placement.tenant = tenant) t.live in
+  t.live <- kept;
+  List.iter
+    (fun p ->
+      Arbiter.remove_placement t.arbiter p;
+      Scheduler.release t.scheduler p)
+    gone
+
+let placements t = t.live
+
+let tenants t =
+  List.sort_uniq compare (List.map (fun p -> p.Placement.tenant) t.live)
+
+(* Attach, then reconcile: if a pipe placement's reserved route is not
+   the route the flow actually takes (parallel NICs, P2P shortcuts),
+   migrate the reservation onto the real path so the ledger stays
+   truthful. Hoses are route-agnostic by construction. *)
+let attach t (flow : Ihnet_engine.Flow.t) =
+  match Arbiter.attach_placement t.arbiter flow with
+  | None -> false
+  | Some p ->
+    (if p.Placement.kind = Placement.Pipe_fwd then begin
+       let same_route =
+         List.map (fun (h : Ihnet_topology.Path.hop) -> h.Ihnet_topology.Path.link.Ihnet_topology.Link.id)
+           p.Placement.path.Ihnet_topology.Path.hops
+         = List.map
+             (fun (h : Ihnet_topology.Path.hop) -> h.Ihnet_topology.Path.link.Ihnet_topology.Link.id)
+             flow.Ihnet_engine.Flow.path.Ihnet_topology.Path.hops
+       in
+       if not same_route then
+         ignore (Scheduler.move t.scheduler p flow.Ihnet_engine.Flow.path)
+     end);
+    true
+
+let detach t flow = Arbiter.detach t.arbiter flow
+let start_shim t ~period = Arbiter.start_shim ~attach:(attach t) t.arbiter ~period
+let stop_shim t = Arbiter.stop_shim t.arbiter
+
+let vnet t ~tenant = Vnet.build (Fabric.topology t.fabric) ~placements:t.live ~tenant
+
+let decisions t = Arbiter.decisions t.arbiter
+
+let guaranteed_throughput t ~tenant =
+  List.fold_left
+    (fun acc p -> if p.Placement.tenant = tenant then acc +. p.Placement.rate else acc)
+    0.0 t.live

@@ -1,0 +1,52 @@
+(** The holistic resource manager: interpreter + scheduler + arbiter
+    behind one facade — the paper's compile–schedule–arbitrate scheme.
+
+    Typical use:
+    {[
+      let mgr = Manager.create fabric () in
+      Manager.start_shim mgr ~period:(Units.us 50.0);
+      match Manager.submit mgr (Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0"
+                                  ~rate:(Units.gbps 20.0)) with
+      | Ok _ -> (* tenant 1's ext->socket0 flows now hold 2.5 GB/s *)
+      | Error reason -> (* admission refused, capacity exhausted *)
+    ]} *)
+
+type t
+
+val create :
+  Ihnet_engine.Fabric.t ->
+  ?headroom:float ->
+  ?k_paths:int ->
+  ?reaction_delay:Ihnet_util.Units.ns ->
+  unit ->
+  t
+
+val fabric : t -> Ihnet_engine.Fabric.t
+val scheduler : t -> Scheduler.t
+val arbiter : t -> Arbiter.t
+
+val submit : t -> Intent.t -> (Placement.t list, string) result
+(** Compile, schedule (all-or-nothing admission), and hand the
+    placements to the arbiter. *)
+
+val revoke : t -> tenant:int -> unit
+(** Release all of a tenant's placements and return its flows to
+    best-effort — "applications come and go". *)
+
+val placements : t -> Placement.t list
+val tenants : t -> int list
+
+val attach : t -> Ihnet_engine.Flow.t -> bool
+val detach : t -> Ihnet_engine.Flow.t -> unit
+
+val start_shim : t -> period:Ihnet_util.Units.ns -> unit
+val stop_shim : t -> unit
+
+val vnet : t -> tenant:int -> Ihnet_topology.Topology.t
+(** The tenant's virtualized view of the intra-host network. *)
+
+val decisions : t -> int
+(** Total arbiter enforcement actions. *)
+
+val guaranteed_throughput : t -> tenant:int -> float
+(** Sum of the tenant's placed rates, bytes/s. *)

@@ -1,0 +1,54 @@
+module T = Ihnet_topology
+module Flow = Ihnet_engine.Flow
+
+type kind = Pipe_fwd | Hose_to_host | Hose_from_host
+
+type t = {
+  tenant : int;
+  kind : kind;
+  rate : float;
+  mutable path : T.Path.t;
+  work_conserving : bool;
+  latency_bound : Ihnet_util.Units.ns option;
+  mutable attached : Flow.t list;
+}
+
+(* The hop adjacent to the hose's endpoint: the endpoint's own uplink,
+   which only that endpoint's traffic can cross. For [Hose_to_host] the
+   placement path starts at the endpoint (first hop); for
+   [Hose_from_host] it ends there (last hop). *)
+let endpoint_hop t =
+  match (t.kind, t.path.T.Path.hops) with
+  | _, [] -> None
+  | (Pipe_fwd | Hose_to_host), h :: _ -> Some h
+  | Hose_from_host, hops -> Some (List.nth hops (List.length hops - 1))
+
+let matches t (f : Flow.t) =
+  f.Flow.tenant = t.tenant
+  &&
+  match t.kind with
+  | Pipe_fwd ->
+    f.Flow.path.T.Path.src = t.path.T.Path.src && f.Flow.path.T.Path.dst = t.path.T.Path.dst
+  | Hose_to_host | Hose_from_host -> (
+    match endpoint_hop t with
+    | None -> false
+    | Some hop ->
+      List.exists
+        (fun (h : T.Path.hop) ->
+          h.T.Path.link.T.Link.id = hop.T.Path.link.T.Link.id && h.T.Path.dir = hop.T.Path.dir)
+        f.Flow.path.T.Path.hops)
+
+let reserved_on t =
+  List.map
+    (fun (h : T.Path.hop) -> (h.T.Path.link.T.Link.id, h.T.Path.dir, t.rate))
+    t.path.T.Path.hops
+
+let pp ppf t =
+  let k =
+    match t.kind with
+    | Pipe_fwd -> "pipe"
+    | Hose_to_host -> "hose-in"
+    | Hose_from_host -> "hose-out"
+  in
+  Format.fprintf ppf "%s t%d %a (%d flows)" k t.tenant Ihnet_util.Units.pp_rate t.rate
+    (List.length t.attached)

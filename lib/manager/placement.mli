@@ -1,0 +1,35 @@
+(** A placed (scheduled) requirement: one guaranteed rate pinned to one
+    concrete path. Produced by the {!Scheduler}, enforced by the
+    {!Arbiter}. *)
+
+type kind =
+  | Pipe_fwd  (** A pipe target, src→dst direction. *)
+  | Hose_to_host
+  | Hose_from_host
+
+type t = {
+  tenant : int;
+  kind : kind;
+  rate : float;  (** Guaranteed bytes/s on [path]. *)
+  mutable path : Ihnet_topology.Path.t;
+      (** The reserved route. The manager may migrate it (via
+          {!Scheduler.move}) to follow where the tenant's traffic
+          actually flows. *)
+  work_conserving : bool;
+  latency_bound : Ihnet_util.Units.ns option;
+      (** The intent's advisory latency SLO, carried through for
+          compliance reporting ({!Slo}). *)
+  mutable attached : Ihnet_engine.Flow.t list;
+      (** Live flows currently charged against this guarantee
+          (arbiter-owned). *)
+}
+
+val matches : t -> Ihnet_engine.Flow.t -> bool
+(** Does a flow belong to this placement? Pipes match on exact
+    (tenant, src, dst); hoses match any tenant flow traversing the
+    hose's first uplink hop in the reserved direction. *)
+
+val reserved_on : t -> (Ihnet_topology.Link.id * Ihnet_topology.Link.dir * float) list
+(** Per-hop reservation this placement holds. *)
+
+val pp : Format.formatter -> t -> unit

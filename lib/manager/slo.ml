@@ -1,0 +1,90 @@
+module Fabric = Ihnet_engine.Fabric
+module Flow = Ihnet_engine.Flow
+module U = Ihnet_util
+
+type state = Inactive | Met | Violated of string
+
+type entry = {
+  placement : Placement.t;
+  delivered : float;
+  demanded : float;
+  worst_latency : U.Units.ns option;
+  state : state;
+}
+
+type report = { at : U.Units.ns; entries : entry list; violations : int }
+
+(* 1% slack absorbs fluid-model rounding *)
+let tolerance = 0.99
+
+let check_placement fabric (p : Placement.t) =
+  let flows = List.filter (fun (f : Flow.t) -> f.Flow.state = Flow.Running) p.Placement.attached in
+  if flows = [] then
+    { placement = p; delivered = 0.0; demanded = 0.0; worst_latency = None; state = Inactive }
+  else begin
+    let delivered = List.fold_left (fun acc (f : Flow.t) -> acc +. f.Flow.rate) 0.0 flows in
+    let demanded =
+      List.fold_left (fun acc (f : Flow.t) -> acc +. Flow.effective_demand f) 0.0 flows
+    in
+    let entitled = Float.min p.Placement.rate demanded in
+    let bandwidth_ok = delivered >= entitled *. tolerance in
+    let worst_latency =
+      match p.Placement.latency_bound with
+      | None -> None
+      | Some _ ->
+        Some
+          (List.fold_left
+             (fun acc f -> Float.max acc (Fabric.flow_path_latency fabric f))
+             0.0 flows)
+    in
+    let latency_ok =
+      match (p.Placement.latency_bound, worst_latency) with
+      | Some bound, Some worst -> worst <= bound
+      | _ -> true
+    in
+    let state =
+      if not bandwidth_ok then
+        Violated
+          (Format.asprintf "delivered %a of entitled %a" U.Units.pp_rate delivered
+             U.Units.pp_rate entitled)
+      else if not latency_ok then
+        Violated
+          (Format.asprintf "latency %a exceeds bound %a" U.Units.pp_time
+             (Option.value ~default:nan worst_latency)
+             U.Units.pp_time
+             (Option.value ~default:nan p.Placement.latency_bound))
+      else Met
+    in
+    { placement = p; delivered; demanded; worst_latency; state }
+  end
+
+let check mgr =
+  let fabric = Manager.fabric mgr in
+  let entries = List.map (check_placement fabric) (Manager.placements mgr) in
+  let violations =
+    List.length (List.filter (fun e -> match e.state with Violated _ -> true | _ -> false) entries)
+  in
+  { at = Fabric.now fabric; entries; violations }
+
+let tenant_compliant report ~tenant =
+  not
+    (List.exists
+       (fun e ->
+         e.placement.Placement.tenant = tenant
+         && match e.state with Violated _ -> true | _ -> false)
+       report.entries)
+
+let pp ppf report =
+  Format.fprintf ppf "slo report at %a: %d placement(s), %d violation(s)@." U.Units.pp_time
+    report.at (List.length report.entries) report.violations;
+  List.iter
+    (fun e ->
+      let state =
+        match e.state with
+        | Inactive -> "inactive"
+        | Met -> "met"
+        | Violated why -> "VIOLATED: " ^ why
+      in
+      Format.fprintf ppf "  %a -> delivered %a (demand %a) %s@." Placement.pp e.placement
+        U.Units.pp_rate e.delivered U.Units.pp_rate e.demanded state)
+    report.entries

@@ -1,0 +1,45 @@
+(** SLO compliance reporting: did the manager deliver what it promised?
+
+    §3.2's goal is to "deliver predictable application performance";
+    this module closes the loop by checking every live placement
+    against its guarantee:
+
+    - {b bandwidth}: the attached flows jointly receive at least
+      [min(guaranteed rate, their joint offered demand)] — a tenant
+      offering less than its guarantee is compliant by definition;
+    - {b latency}: when the intent carried a bound, each attached
+      flow's current {!Ihnet_engine.Fabric.flow_path_latency} is within
+      it.
+
+    A placement with no attached flows is [Inactive] (vacuously
+    compliant); the interesting states are [Met] and [Violated]. *)
+
+type state =
+  | Inactive  (** No live flows charged to the placement. *)
+  | Met
+  | Violated of string  (** Human-readable reason. *)
+
+type entry = {
+  placement : Placement.t;
+  delivered : float;  (** Aggregate rate of the attached flows, bytes/s. *)
+  demanded : float;  (** Aggregate offered demand ([infinity] = elastic). *)
+  worst_latency : Ihnet_util.Units.ns option;
+      (** Worst current latency among attached flows, when a bound is
+          set. *)
+  state : state;
+}
+
+type report = {
+  at : Ihnet_util.Units.ns;
+  entries : entry list;
+  violations : int;
+}
+
+val check : Manager.t -> report
+(** Evaluate every live placement now. *)
+
+val tenant_compliant : report -> tenant:int -> bool
+(** No violated entry for the tenant. *)
+
+val pp : Format.formatter -> report -> unit
+(** One line per entry. *)

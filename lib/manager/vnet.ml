@@ -1,0 +1,69 @@
+module T = Ihnet_topology
+
+(* Tenant's reservation per link (max of the two directions). *)
+let reservations_of placements ~tenant =
+  let tbl : (T.Link.id, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Placement.t) ->
+      if p.Placement.tenant = tenant then
+        List.iter
+          (fun (link, _dir, rate) ->
+            let cur = Option.value ~default:0.0 (Hashtbl.find_opt tbl link) in
+            Hashtbl.replace tbl link (Float.max cur rate))
+          (Placement.reserved_on p))
+    placements;
+  tbl
+
+let build topo ~placements ~tenant =
+  let reservations = reservations_of placements ~tenant in
+  let vnet =
+    T.Topology.create ~config:(T.Topology.config topo)
+      ~name:(Printf.sprintf "%s-vnet-t%d" (T.Topology.name topo) tenant)
+      ()
+  in
+  let dev_map : (T.Device.id, T.Device.id) Hashtbl.t = Hashtbl.create 16 in
+  let ensure_device id =
+    match Hashtbl.find_opt dev_map id with
+    | Some v -> v
+    | None ->
+      let d = T.Topology.device topo id in
+      let v =
+        T.Topology.add_device vnet ~name:d.T.Device.name ~kind:d.T.Device.kind
+          ~socket:d.T.Device.socket
+      in
+      Hashtbl.add dev_map id v.T.Device.id;
+      v.T.Device.id
+  in
+  Hashtbl.iter
+    (fun link_id rate ->
+      if rate > 0.0 then begin
+        let l = T.Topology.link topo link_id in
+        let a = ensure_device l.T.Link.a and b = ensure_device l.T.Link.b in
+        ignore
+          (T.Topology.add_link vnet ~kind:l.T.Link.kind ~a ~b ~capacity:rate
+             ~base_latency:l.T.Link.base_latency)
+      end)
+    reservations;
+  vnet
+
+let migration_compatible ~src ~dst_host ~placements ~tenant =
+  let vnet = build src ~placements ~tenant in
+  let devices_ok =
+    List.for_all
+      (fun (d : T.Device.t) ->
+        match T.Topology.device_by_name dst_host d.T.Device.name with
+        | Some d' -> T.Device.kind_label d'.T.Device.kind = T.Device.kind_label d.T.Device.kind
+        | None -> false)
+      (T.Topology.devices vnet)
+  in
+  devices_ok
+  && List.for_all
+       (fun (l : T.Link.t) ->
+         let a = (T.Topology.device vnet l.T.Link.a).T.Device.name in
+         let b = (T.Topology.device vnet l.T.Link.b).T.Device.name in
+         match (T.Topology.device_by_name dst_host a, T.Topology.device_by_name dst_host b) with
+         | Some da, Some db ->
+           let candidates = T.Topology.links_between dst_host da.T.Device.id db.T.Device.id in
+           List.exists (fun (c : T.Link.t) -> c.T.Link.capacity >= l.T.Link.capacity) candidates
+         | _ -> false)
+       (T.Topology.links vnet)

@@ -1,0 +1,28 @@
+(** Virtualized intra-host network abstraction (§3.2).
+
+    "Each tenant should see a dedicated isolated virtual intra-host
+    network. For example, if a tenant is only allocated half of the
+    PCIe bandwidth to an I/O device, from the tenant's perspective, it
+    should see an illusion that the allocated bandwidth is the
+    corresponding PCIe capacity."
+
+    A vnet is a fresh {!Ihnet_topology.Topology.t} containing exactly
+    the devices and links the tenant's placements touch, with each
+    link's capacity set to the tenant's reserved rate on it. Because it
+    is an ordinary topology value, everything else (routing,
+    validation, DOT export, even a nested simulation) works on it
+    unchanged — that is the abstraction's point. *)
+
+val build :
+  Ihnet_topology.Topology.t -> placements:Placement.t list -> tenant:int -> Ihnet_topology.Topology.t
+(** The tenant's virtual view. Link capacity = the tenant's reservation
+    on that link (max over directions); base latencies are inherited.
+    An empty view (no placements) has no devices. *)
+
+val migration_compatible :
+  src:Ihnet_topology.Topology.t -> dst_host:Ihnet_topology.Topology.t -> placements:Placement.t list -> tenant:int -> bool
+(** Could this tenant's virtual network be re-hosted on [dst_host]
+    without renegotiation? True when every device name in the vnet
+    exists on the destination with compatible kind, and every vnet
+    link's capacity fits under the destination's corresponding device
+    pair capacity. The paper's VM-migration motivation. *)

@@ -1,0 +1,57 @@
+module Fabric = Ihnet_engine.Fabric
+
+type member = { label : string; counter : Counter.t; tenants : int list }
+
+type host_status = {
+  label : string;
+  health : Health.t;
+  congested_links : int;
+  worst_utilization : float;
+  config_findings : string list;
+}
+
+type t = { at_wall : int; hosts : host_status list }
+
+let status_of m =
+  let health = Health.collect m.counter ~tenants:m.tenants () in
+  let worst_utilization =
+    match health.Health.congested with
+    | [] -> 0.0
+    | c :: _ -> c.Health.utilization
+  in
+  {
+    label = m.label;
+    health;
+    congested_links = List.length health.Health.congested;
+    worst_utilization;
+    config_findings =
+      Anomaly.check_configuration (Fabric.topology (Counter.fabric m.counter));
+  }
+
+let severity s =
+  (* congestion dominates; misconfigurations break ties *)
+  (float_of_int s.congested_links *. 10.0)
+  +. s.worst_utilization
+  +. float_of_int (List.length s.config_findings)
+
+let collect ?(round = 0) members =
+  let hosts =
+    List.map status_of members
+    |> List.sort (fun a b -> compare (severity b) (severity a))
+  in
+  { at_wall = round; hosts }
+
+let needs_attention t =
+  List.filter (fun s -> s.congested_links > 0 || s.config_findings <> []) t.hosts
+
+let pp ppf t =
+  Format.fprintf ppf "fleet round %d: %d host(s), %d need attention@." t.at_wall
+    (List.length t.hosts)
+    (List.length (needs_attention t));
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %-16s congested=%d worst=%.0f%% findings=%d@." s.label
+        s.congested_links
+        (s.worst_utilization *. 100.0)
+        (List.length s.config_findings))
+    t.hosts

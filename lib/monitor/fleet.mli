@@ -1,0 +1,41 @@
+(** Fleet view: the centralized network-state service of §3.1.
+
+    "The state of an inter-host network is usually collected
+    periodically by a centralized service to allow for centralized
+    monitoring and control of network traffic. Similarly, a manageable
+    intra-host network should monitor configurations and resource
+    usage on all the links."
+
+    This module is that collector's host-side aggregation: it pulls
+    {!Health} snapshots from many (simulated) hosts and ranks them, so
+    an operator sees which machine in the rack needs attention. Each
+    host keeps its own simulator; the fleet is just the roll-up. *)
+
+type member = {
+  label : string;  (** Operator-facing host name ("rack3-node07"). *)
+  counter : Counter.t;
+  tenants : int list;  (** Tenants to attribute on that host. *)
+}
+
+type host_status = {
+  label : string;
+  health : Health.t;
+  congested_links : int;
+  worst_utilization : float;  (** 0 when nothing is congested. *)
+  config_findings : string list;  (** Static misconfigurations. *)
+}
+
+type t = {
+  at_wall : int;  (** Collection round number. *)
+  hosts : host_status list;  (** Worst first. *)
+}
+
+val collect : ?round:int -> member list -> t
+(** Snapshot every member (each call advances that host's simulation by
+    the health-report window) and rank by congestion severity, then by
+    misconfiguration count. *)
+
+val needs_attention : t -> host_status list
+(** Hosts with congested links or config findings, worst first. *)
+
+val pp : Format.formatter -> t -> unit

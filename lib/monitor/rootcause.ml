@@ -1,0 +1,77 @@
+module T = Ihnet_topology
+
+type snapshot = {
+  at : float;
+  tenants : int list;
+  bytes : (int * int * int, float) Hashtbl.t; (* (link, dir index, tenant) -> bytes *)
+  induced : (int * int, float) Hashtbl.t; (* (link, dir index) -> induced bytes *)
+}
+
+let dir_index = function T.Link.Fwd -> 0 | T.Link.Rev -> 1
+
+(* One Counter.read per link direction; what it contains is the
+   fidelity's decision. *)
+let snapshot counter ~tenants =
+  let fabric = Counter.fabric counter in
+  let topo = Ihnet_engine.Fabric.topology fabric in
+  let bytes = Hashtbl.create 64 in
+  let induced = Hashtbl.create 32 in
+  let at = ref 0.0 in
+  List.iter
+    (fun (l : T.Link.t) ->
+      List.iter
+        (fun dir ->
+          let r = Counter.read counter l.T.Link.id dir ~tenants in
+          at := Float.max !at r.Counter.at;
+          List.iter
+            (fun (tn, b) -> Hashtbl.replace bytes (l.T.Link.id, dir_index dir, tn) b)
+            r.Counter.per_tenant;
+          Hashtbl.replace induced (l.T.Link.id, dir_index dir) r.Counter.induced_bytes)
+        [ T.Link.Fwd; T.Link.Rev ])
+    (T.Topology.links topo);
+  { at = !at; tenants; bytes; induced }
+
+type culprit = {
+  link : T.Link.id;
+  dir : T.Link.dir;
+  utilization : float;
+  contributors : (int * float) list;
+}
+
+let diagnose counter ~before ~after ~victim_path =
+  if after.at <= before.at then invalid_arg "Rootcause.diagnose: snapshots out of order";
+  let dt_s = (after.at -. before.at) /. 1e9 in
+  let delta tbl key =
+    let get (t : (_, float) Hashtbl.t) = Option.value ~default:0.0 (Hashtbl.find_opt t key) in
+    (get (tbl after) -. get (tbl before)) /. dt_s
+  in
+  let culprits =
+    List.map
+      (fun (hop : T.Path.hop) ->
+        let link = hop.T.Path.link.T.Link.id in
+        let dir = hop.T.Path.dir in
+        let contributors =
+          List.filter_map
+            (fun tn ->
+              let rate = delta (fun s -> s.bytes) (link, dir_index dir, tn) in
+              if rate > 1.0 then Some (tn, rate) else None)
+            after.tenants
+        in
+        let induced_rate = delta (fun s -> s.induced) (link, dir_index dir) in
+        let contributors =
+          if induced_rate > 1.0 then (-1, induced_rate) :: contributors else contributors
+        in
+        let reading = Counter.read counter link dir ~tenants:[] in
+        {
+          link;
+          dir;
+          utilization = reading.Counter.utilization;
+          contributors = List.sort (fun (_, a) (_, b) -> compare b a) contributors;
+        })
+      victim_path.T.Path.hops
+  in
+  List.sort (fun a b -> compare b.utilization a.utilization) culprits
+
+let top_aggressor = function
+  | [] -> None
+  | top :: _ -> List.find_opt (fun (tn, _) -> tn >= 0) top.contributors

@@ -1,0 +1,44 @@
+(** Congestion root-cause analysis.
+
+    §2: operators "can use these counters to detect congestion, but
+    identifying the root cause of the congestion ... remains
+    challenging". Given two counter snapshots and a victim's path, this
+    module ranks the path's links by utilization and attributes each
+    congested link's traffic to tenants — naming the aggressor.
+
+    All data comes through a {!Counter.t}, so the analysis only knows
+    what its fidelity exposes: under [Hardware] fidelity there is no
+    per-tenant attribution and {!top_aggressor} returns [None] — the
+    §3.1-Q1 limitation, measured in ablation A3. *)
+
+type snapshot
+(** Per-(link, direction, tenant) cumulative wire bytes at an instant. *)
+
+val snapshot : Counter.t -> tenants:int list -> snapshot
+(** Read every link's counters once. [tenants] is the attribution
+    candidate set (ignored by fidelities that hide tenants). *)
+
+type culprit = {
+  link : Ihnet_topology.Link.id;
+  dir : Ihnet_topology.Link.dir;
+  utilization : float;  (** At diagnosis time (against nominal). *)
+  contributors : (int * float) list;
+      (** (tenant, bytes/s over the window), largest first; tenant −1
+          aggregates DDIO-induced traffic. Empty under [Hardware]
+          fidelity. *)
+}
+
+val diagnose :
+  Counter.t ->
+  before:snapshot ->
+  after:snapshot ->
+  victim_path:Ihnet_topology.Path.t ->
+  culprit list
+(** Hops of the victim path sorted by utilization, most congested
+    first, each with its tenant attribution over the snapshot window.
+    @raise Invalid_argument if the snapshots are not ordered in time. *)
+
+val top_aggressor : culprit list -> (int * float) option
+(** The tenant moving the most bytes/s on the most congested hop,
+    excluding the induced pseudo-tenant; [None] when idle or when the
+    counter fidelity hides tenants. *)

@@ -1,0 +1,165 @@
+module Fabric = Ihnet_engine.Fabric
+module Flow = Ihnet_engine.Flow
+module Sim = Ihnet_engine.Sim
+module T = Ihnet_topology
+module U = Ihnet_util
+
+type processing =
+  | Local of { cost_per_sample : U.Units.ns }
+  | Ship of { collector : string; bytes_per_sample : float }
+
+type config = {
+  period : U.Units.ns;
+  fidelity : Counter.fidelity;
+  noise : float;
+  processing : processing;
+  tenants : int list;
+}
+
+let default_config () =
+  {
+    period = U.Units.us 100.0;
+    fidelity = Counter.Hardware { max_read_hz = 10_000.0 };
+    noise = 0.0;
+    processing = Local { cost_per_sample = 500.0 };
+    tenants = [];
+  }
+
+type t = {
+  fabric : Fabric.t;
+  config : config;
+  counter : Counter.t;
+  telemetry : Telemetry.t;
+  mutable ship_flows : Flow.t list;
+  mutable ticks : int;
+  mutable cpu : float;
+  mutable stopped : bool;
+}
+
+let dir_label = function T.Link.Fwd -> "fwd" | T.Link.Rev -> "rev"
+let util_series id dir = Printf.sprintf "link.%d.%s.util" id (dir_label dir)
+let bytes_series id dir = Printf.sprintf "link.%d.%s.bytes" id (dir_label dir)
+
+let tenant_series id dir ~tenant =
+  Printf.sprintf "link.%d.%s.tenant.%d.bytes" id (dir_label dir) tenant
+
+let ddio_series ~socket = Printf.sprintf "ddio.%d.hit" socket
+
+let sockets_of topo =
+  T.Topology.find_devices topo (fun d ->
+      match d.T.Device.kind with T.Device.Cpu_socket _ -> true | _ -> false)
+  |> List.map (fun (d : T.Device.t) -> d.T.Device.socket)
+
+(* Number of scalar samples one tick produces. *)
+let samples_per_tick t =
+  let topo = Fabric.topology t.fabric in
+  let per_link = 2 * (2 + List.length t.config.tenants) in
+  (T.Topology.link_count topo * per_link) + List.length (sockets_of topo)
+
+(* When shipping, telemetry flows run from every I/O device to the
+   collector, splitting the aggregate telemetry rate evenly — a fluid
+   stand-in for the per-sample DMA bursts real monitoring agents issue. *)
+let setup_shipping t =
+  match t.config.processing with
+  | Local _ -> ()
+  | Ship { collector; bytes_per_sample } ->
+    let topo = Fabric.topology t.fabric in
+    let collector_dev =
+      match T.Topology.device_by_name topo collector with
+      | Some d -> d
+      | None -> invalid_arg ("Sampler: no collector device " ^ collector)
+    in
+    let sources = T.Topology.find_devices topo T.Device.is_io_device in
+    if sources <> [] then begin
+      let total_rate =
+        float_of_int (samples_per_tick t) *. bytes_per_sample /. (t.config.period /. 1e9)
+      in
+      let per_source = total_rate /. float_of_int (List.length sources) in
+      t.ship_flows <-
+        List.filter_map
+          (fun (src : T.Device.t) ->
+            match T.Routing.shortest_path topo src.T.Device.id collector_dev.T.Device.id with
+            | None -> None
+            | Some path ->
+              Some
+                (Fabric.start_flow t.fabric ~tenant:0 ~cls:Flow.Monitoring ~demand:per_source
+                   ~payload_bytes:64 ~path ~size:Flow.Unbounded ()))
+          sources
+    end
+
+let rec tick t _sim =
+  if not t.stopped then begin
+    let topo = Fabric.topology t.fabric in
+    let now = Fabric.now t.fabric in
+    List.iter
+      (fun (l : T.Link.t) ->
+        List.iter
+          (fun dir ->
+            let r = Counter.read t.counter l.T.Link.id dir ~tenants:t.config.tenants in
+            Telemetry.record t.telemetry ~series:(util_series l.T.Link.id dir) ~at:now
+              r.Counter.utilization;
+            Telemetry.record t.telemetry ~series:(bytes_series l.T.Link.id dir) ~at:now
+              r.Counter.wire_bytes;
+            List.iter
+              (fun (tn, b) ->
+                Telemetry.record t.telemetry
+                  ~series:(tenant_series l.T.Link.id dir ~tenant:tn)
+                  ~at:now b)
+              r.Counter.per_tenant)
+          [ T.Link.Fwd; T.Link.Rev ])
+      (T.Topology.links topo);
+    List.iter
+      (fun s ->
+        match Counter.ddio_hit_rate t.counter ~socket:s with
+        | Some h -> Telemetry.record t.telemetry ~series:(ddio_series ~socket:s) ~at:now h
+        | None -> ())
+      (sockets_of topo);
+    t.ticks <- t.ticks + 1;
+    (match t.config.processing with
+    | Local { cost_per_sample } ->
+      t.cpu <- t.cpu +. (cost_per_sample *. float_of_int (samples_per_tick t))
+    | Ship _ -> ());
+    Sim.schedule (Fabric.sim t.fabric) ~after:t.config.period (tick t)
+  end
+
+let start fabric ?telemetry config =
+  assert (config.period > 0.0);
+  let t =
+    {
+      fabric;
+      config;
+      counter = Counter.create ~noise:config.noise fabric ~fidelity:config.fidelity;
+      telemetry = (match telemetry with Some tm -> tm | None -> Telemetry.create ());
+      ship_flows = [];
+      ticks = 0;
+      cpu = 0.0;
+      stopped = false;
+    }
+  in
+  setup_shipping t;
+  Sim.schedule (Fabric.sim fabric) ~after:config.period (tick t);
+  t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    List.iter (Fabric.stop_flow t.fabric) t.ship_flows;
+    t.ship_flows <- []
+  end
+
+let telemetry t = t.telemetry
+let counter t = t.counter
+let ticks t = t.ticks
+let cpu_time_consumed t = t.cpu
+
+let shipping_rate t =
+  List.fold_left (fun acc (f : Flow.t) -> acc +. f.Flow.rate) 0.0 t.ship_flows
+
+let monitoring_wire_bytes t =
+  let topo = Fabric.topology t.fabric in
+  List.fold_left
+    (fun acc (l : T.Link.t) ->
+      acc
+      +. Fabric.cls_link_bytes t.fabric l.T.Link.id T.Link.Fwd ~cls:Flow.Monitoring
+      +. Fabric.cls_link_bytes t.fabric l.T.Link.id T.Link.Rev ~cls:Flow.Monitoring)
+    0.0 (T.Topology.links topo)

@@ -1,0 +1,59 @@
+(** Periodic counter sampling into the telemetry store, with explicit
+    overhead accounting.
+
+    §3.1-Q2 — "The dilemma of storage and processing": monitoring data
+    must go somewhere. Either it is processed {e locally} on the device
+    (consuming its scarce compute) or {e shipped} across the very
+    fabric being monitored (consuming PCIe/memory bandwidth as
+    [Monitoring]-class flows). Both costs are measured here, and E7
+    sweeps the sampling period against them and against detection
+    latency. *)
+
+type processing =
+  | Local of { cost_per_sample : Ihnet_util.Units.ns }
+      (** On-device aggregation: each sample costs device compute. *)
+  | Ship of { collector : string; bytes_per_sample : float }
+      (** Raw samples are DMA'd to the collector device (a CPU socket);
+          the sampler maintains [Monitoring]-class flows from every
+          I/O device toward it, sized to the telemetry rate. *)
+
+type config = {
+  period : Ihnet_util.Units.ns;  (** Sampling interval. *)
+  fidelity : Counter.fidelity;
+  noise : float;  (** Relative counter-read noise (see {!Counter.create}). *)
+  processing : processing;
+  tenants : int list;  (** Tenants to attribute (fine fidelity only). *)
+}
+
+val default_config : unit -> config
+(** 100 µs period, hardware fidelity at 10 kHz, local processing at
+    500 ns/sample, no tenant attribution. *)
+
+type t
+
+val start : Ihnet_engine.Fabric.t -> ?telemetry:Telemetry.t -> config -> t
+(** Begins ticking immediately (first tick one period from now). *)
+
+val stop : t -> unit
+
+val telemetry : t -> Telemetry.t
+val counter : t -> Counter.t
+val ticks : t -> int
+
+val cpu_time_consumed : t -> Ihnet_util.Units.ns
+(** Total device compute burned by local processing. *)
+
+val shipping_rate : t -> float
+(** Current aggregate telemetry-shipping rate (bytes/s); 0 for local
+    processing. *)
+
+val monitoring_wire_bytes : t -> float
+(** Cumulative fabric bytes consumed by [Monitoring]-class traffic —
+    the monitor's own footprint on the network it watches. *)
+
+(** {1 Series naming} *)
+
+val util_series : Ihnet_topology.Link.id -> Ihnet_topology.Link.dir -> string
+val bytes_series : Ihnet_topology.Link.id -> Ihnet_topology.Link.dir -> string
+val tenant_series : Ihnet_topology.Link.id -> Ihnet_topology.Link.dir -> tenant:int -> string
+val ddio_series : socket:int -> string

@@ -1,0 +1,68 @@
+module Ring = Ihnet_util.Ring_buffer
+
+type sample = { at : Ihnet_util.Units.ns; value : float }
+type t = { capacity : int; series : (string, sample Ring.t) Hashtbl.t }
+
+let create ?(capacity_per_series = 1024) () =
+  assert (capacity_per_series > 0);
+  { capacity = capacity_per_series; series = Hashtbl.create 64 }
+
+let ring t name =
+  match Hashtbl.find_opt t.series name with
+  | Some r -> r
+  | None ->
+    let r = Ring.create t.capacity in
+    Hashtbl.add t.series name r;
+    r
+
+let record t ~series ~at value = Ring.push (ring t series) { at; value }
+
+let series_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.series [] |> List.sort compare
+
+let length t ~series =
+  match Hashtbl.find_opt t.series series with Some r -> Ring.length r | None -> 0
+
+let latest t ~series =
+  match Hashtbl.find_opt t.series series with Some r -> Ring.newest r | None -> None
+
+let window t ~series ~since =
+  match Hashtbl.find_opt t.series series with
+  | None -> []
+  | Some r -> List.filter (fun s -> s.at >= since) (Ring.to_list r)
+
+let values t ~series =
+  match Hashtbl.find_opt t.series series with
+  | None -> [||]
+  | Some r -> Array.of_list (List.map (fun s -> s.value) (Ring.to_list r))
+
+let rate_of_change t ~series =
+  match Hashtbl.find_opt t.series series with
+  | None -> None
+  | Some r ->
+    let n = Ring.length r in
+    if n < 2 then None
+    else begin
+      let a = Ring.get r (n - 2) and b = Ring.get r (n - 1) in
+      let dt = b.at -. a.at in
+      if dt <= 0.0 then None else Some ((b.value -. a.value) /. (dt /. 1e9))
+    end
+
+let to_csv ?series t =
+  let names = match series with Some ns -> ns | None -> series_names t in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "series,at_ns,value\n";
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.series name with
+      | None -> ()
+      | Some r ->
+        Ring.iter
+          (fun s -> Buffer.add_string buf (Printf.sprintf "%s,%.0f,%.9g\n" name s.at s.value))
+          r)
+    names;
+  Buffer.contents buf
+
+let dropped_samples t = Hashtbl.fold (fun _ r acc -> acc + Ring.dropped r) t.series 0
+let memory_samples t = Hashtbl.fold (fun _ r acc -> acc + Ring.length r) t.series 0
+let clear t = Hashtbl.reset t.series

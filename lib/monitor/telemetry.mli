@@ -1,0 +1,42 @@
+(** Telemetry store: bounded time series.
+
+    One ring buffer of [(time, value)] samples per series; series are
+    named strings (["link.3.fwd.util"], ["ddio.0.hit"]). The bound is
+    the §3.1-Q2 "storage" half: memory is finite, old samples are
+    overwritten, and {!dropped_samples} quantifies the loss. *)
+
+type sample = { at : Ihnet_util.Units.ns; value : float }
+type t
+
+val create : ?capacity_per_series:int -> unit -> t
+(** Default capacity: 1024 samples per series. *)
+
+val record : t -> series:string -> at:Ihnet_util.Units.ns -> float -> unit
+
+val series_names : t -> string list
+val length : t -> series:string -> int
+
+val latest : t -> series:string -> sample option
+val window : t -> series:string -> since:Ihnet_util.Units.ns -> sample list
+(** Samples with [at >= since], oldest first. *)
+
+val values : t -> series:string -> float array
+(** All retained values, oldest first; [||] for unknown series. *)
+
+val rate_of_change : t -> series:string -> float option
+(** Per-second derivative over the last two samples (e.g. turns a
+    cumulative byte counter into bytes/s). [None] with fewer than two
+    samples or zero time delta. *)
+
+val dropped_samples : t -> int
+(** Total samples lost to ring-buffer overwrite, across series. *)
+
+val memory_samples : t -> int
+(** Total samples currently retained (the store's footprint). *)
+
+val to_csv : ?series:string list -> t -> string
+(** Export retained samples as CSV ([series,at_ns,value]), ordered by
+    series then time. [series] (default: all) selects which to dump —
+    how an operator gets the data off the host. *)
+
+val clear : t -> unit

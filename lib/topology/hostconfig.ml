@@ -1,0 +1,72 @@
+type iommu =
+  | Iommu_off
+  | Iommu_on of {
+      iotlb_entries : int;
+      hit_latency : Ihnet_util.Units.ns;
+      miss_penalty : Ihnet_util.Units.ns;
+    }
+
+type ddio =
+  | Ddio_off
+  | Ddio_on of { llc_ways : int; io_ways : int; way_size : float }
+
+type t = {
+  iommu : iommu;
+  ddio : ddio;
+  pcie_mps : int;
+  relaxed_ordering : bool;
+  acs : bool;
+  interrupt_moderation : Ihnet_util.Units.ns;
+}
+
+let default =
+  {
+    iommu = Iommu_on { iotlb_entries = 64; hit_latency = 10.0; miss_penalty = 250.0 };
+    ddio = Ddio_on { llc_ways = 11; io_ways = 2; way_size = Ihnet_util.Units.mib 1.5 };
+    pcie_mps = 256;
+    relaxed_ordering = true;
+    acs = false;
+    interrupt_moderation = 0.0;
+  }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let check cond msg = if cond then Ok () else Error msg in
+  let* () =
+    check
+      (is_power_of_two t.pcie_mps && t.pcie_mps >= 128 && t.pcie_mps <= 4096)
+      "pcie_mps must be a power of two in [128, 4096]"
+  in
+  let* () =
+    match t.ddio with
+    | Ddio_off -> Ok ()
+    | Ddio_on { llc_ways; io_ways; way_size } ->
+      check
+        (llc_ways > 0 && io_ways > 0 && io_ways <= llc_ways && way_size > 0.0)
+        "ddio: need 0 < io_ways <= llc_ways and positive way_size"
+  in
+  let* () =
+    match t.iommu with
+    | Iommu_off -> Ok ()
+    | Iommu_on { iotlb_entries; hit_latency; miss_penalty } ->
+      check
+        (iotlb_entries > 0 && hit_latency >= 0.0 && miss_penalty >= 0.0)
+        "iommu: need positive iotlb_entries and non-negative latencies"
+  in
+  check (t.interrupt_moderation >= 0.0) "interrupt_moderation must be non-negative"
+
+let pp ppf t =
+  let iommu_s =
+    match t.iommu with
+    | Iommu_off -> "off"
+    | Iommu_on { iotlb_entries; _ } -> Printf.sprintf "on(iotlb=%d)" iotlb_entries
+  in
+  let ddio_s =
+    match t.ddio with
+    | Ddio_off -> "off"
+    | Ddio_on { llc_ways; io_ways; _ } -> Printf.sprintf "on(%d/%d ways)" io_ways llc_ways
+  in
+  Format.fprintf ppf "iommu=%s ddio=%s mps=%d ro=%b acs=%b intmod=%a" iommu_s ddio_s t.pcie_mps
+    t.relaxed_ordering t.acs Ihnet_util.Units.pp_time t.interrupt_moderation

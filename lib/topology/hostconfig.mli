@@ -1,0 +1,53 @@
+(** Host-wide configuration knobs.
+
+    Figure 1's dashed box lists configurations that "heavily impact the
+    performance of intra-host connections": socket interconnect, NUMA,
+    IOMMU, DDIO, request/payload size, ordering restrictions, access
+    control services (ACS), translation services, interrupt moderation.
+    These knobs parameterize the engine's behaviour and are what the
+    monitor's misconfiguration detector inspects. *)
+
+type iommu =
+  | Iommu_off
+  | Iommu_on of {
+      iotlb_entries : int;  (** IOTLB capacity (entries). *)
+      hit_latency : Ihnet_util.Units.ns;
+      miss_penalty : Ihnet_util.Units.ns;  (** Page-table walk cost. *)
+    }
+
+type ddio =
+  | Ddio_off
+  | Ddio_on of {
+      llc_ways : int;  (** Total LLC ways. *)
+      io_ways : int;  (** Ways I/O writes may allocate into (Intel
+                          default: 2 of e.g. 11). *)
+      way_size : float;  (** Bytes per way. *)
+    }
+
+type t = {
+  iommu : iommu;
+  ddio : ddio;
+  pcie_mps : int;  (** MaxPayloadSize in force on the PCIe fabric,
+                       bytes (128/256/512). *)
+  relaxed_ordering : bool;
+      (** PCIe relaxed ordering; disabled it serializes DMA writes and
+          costs throughput on multi-hop paths. *)
+  acs : bool;
+      (** Access Control Services: when on, peer-to-peer PCIe traffic is
+          redirected through the root complex (longer path). *)
+  interrupt_moderation : Ihnet_util.Units.ns;
+      (** Interrupt coalescing delay added to small-transfer completion
+          notification. *)
+}
+
+val default : t
+(** Cascade-Lake-style defaults: IOMMU on (IOTLB 64 entries, 10/250 ns),
+    DDIO on (2 of 11 ways, 1.5 MiB ways), MPS 256, relaxed ordering on,
+    ACS off, no interrupt moderation. *)
+
+val validate : t -> (unit, string) result
+(** Structural sanity: MPS a power of two in 128–4096, io_ways <=
+    llc_ways, positive latencies. The monitor's misconfiguration checks
+    go further (see {!Ihnet_monitor.Anomaly}). *)
+
+val pp : Format.formatter -> t -> unit

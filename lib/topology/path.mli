@@ -1,0 +1,39 @@
+(** A concrete route through the intra-host network.
+
+    A path is a device sequence plus, for each hop, the link taken and
+    the direction it is traversed in. The scheduler reasons about
+    alternative paths (e.g. "several GPU–SSD pathways", §3.2); the
+    engine charges a flow against every (link, direction) on its
+    path. *)
+
+type hop = { link : Link.t; dir : Link.dir }
+
+type t = {
+  src : Device.id;
+  dst : Device.id;
+  hops : hop list;  (** In traversal order; empty iff [src = dst]. *)
+}
+
+val devices : t -> Device.id list
+(** All devices visited, [src] first, [dst] last. *)
+
+val links : t -> Link.t list
+val hop_count : t -> int
+
+val base_latency : t -> Ihnet_util.Units.ns
+(** Sum of link base latencies (the zero-load path latency). *)
+
+val bottleneck_capacity : t -> Ihnet_util.Units.bytes_per_s
+(** Minimum link capacity along the path; [infinity] for an empty
+    path. *)
+
+val concat : t -> t -> t
+(** [concat a b] joins two paths end to end.
+    @raise Invalid_argument unless [a.dst = b.src]. *)
+
+val mem_link : t -> Link.id -> bool
+val well_formed : Topology.t -> t -> bool
+(** Hops chain correctly from [src] to [dst]. *)
+
+val pp : Topology.t -> Format.formatter -> t -> unit
+(** e.g. ["nic0 -> pciesw0 -> rp0.0 -> socket0"]. *)

@@ -1,0 +1,46 @@
+(** Text format for custom host topologies.
+
+    Line-oriented; [#] starts a comment. Example:
+
+    {v
+    host my-server
+    config ddio=on iommu=on mps=256
+
+    socket 0 cores=32 mc=2 channels=3
+    socket 1 cores=32 mc=2 channels=3
+
+    # PCIe: a switch on socket 0's root port 0, devices below it
+    switch sw0 at 0:0
+    nic  nic0 on sw0 port=200
+    gpu  gpu0 on sw0
+    ssd  ssd0 on sw0
+
+    # direct-attached on other root ports
+    nic  nic1 at 0:1 port=200
+    gpu  gpu1 at 1:0 gen=5 lanes=16
+
+    # a CXL expander below socket 1's root complex
+    cxl  cxl0 at 1
+    v}
+
+    Rules:
+    - [socket IDX] creates a socket with its memory controllers, DIMMs
+      and root complex; consecutive sockets are chained with
+      inter-socket links automatically.
+    - [at S:P] attaches below socket [S]'s root port [P] (root ports
+      are created on demand); [at S] attaches a CXL device below the
+      socket's root complex; [on NAME] attaches below a switch.
+    - Device kinds: [nic] (needs [port=<Gbps>]), [gpu], [ssd], [fpga],
+      [cxl]. PCIe links default to gen4 x16; override with
+      [gen=] / [lanes=].
+    - [config] keys: [ddio=on|off], [iommu=on|off], [mps=N],
+      [acs=on|off], [ro=on|off].
+    - An external-network device ["ext"] is created automatically and
+      every NIC is linked to it at its port speed. *)
+
+val parse : string -> (Topology.t, string) result
+(** Parse a spec; errors carry the offending line number. The resulting
+    topology is validated. *)
+
+val example : string
+(** A ready-to-parse example spec (the one above). *)

@@ -1,0 +1,25 @@
+(** Binary min-heap keyed by [float] priority.
+
+    The simulator's event queue. Entries with equal priority are popped
+    in insertion order (a monotone sequence number breaks ties), which
+    keeps event execution deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h prio v] inserts [v] with priority [prio]. O(log n). *)
+
+val peek : 'a t -> (float * 'a) option
+(** Smallest priority without removing. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the smallest-priority entry. O(log n). *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> (float * 'a) list
+(** All entries in pop order (non-destructive; O(n log n)). Testing aid. *)

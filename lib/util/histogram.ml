@@ -1,0 +1,97 @@
+(* Buckets are indexed by (octave, sub-bucket): octave = floor(log2 v),
+   sub-bucket = position within the octave. Values in [0,1) land in
+   octave 0's linear range. We support values up to 2^52. *)
+
+type t = {
+  sub : int;
+  counts : (int, int) Hashtbl.t; (* bucket index -> count *)
+  mutable n : int;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create ?(sub = 32) () =
+  assert (sub > 0);
+  { sub; counts = Hashtbl.create 64; n = 0; sum = 0.0; mn = infinity; mx = neg_infinity }
+
+let bucket_of t v =
+  if v < 1.0 then int_of_float (v *. float_of_int t.sub)
+  else begin
+    let octave = int_of_float (Float.floor (Float.log2 v)) in
+    let base = 2.0 ** float_of_int octave in
+    let frac = (v -. base) /. base in
+    let sb = int_of_float (frac *. float_of_int t.sub) in
+    let sb = if sb >= t.sub then t.sub - 1 else sb in
+    ((octave + 1) * t.sub) + sb
+  end
+
+let value_of t idx =
+  if idx < t.sub then (float_of_int idx +. 0.5) /. float_of_int t.sub
+  else begin
+    let octave = (idx / t.sub) - 1 in
+    let sb = idx mod t.sub in
+    let base = 2.0 ** float_of_int octave in
+    base +. ((float_of_int sb +. 0.5) /. float_of_int t.sub *. base)
+  end
+
+let add t v =
+  if Float.is_nan v || v < 0.0 then ()
+  else begin
+    let idx = bucket_of t v in
+    let cur = Option.value ~default:0 (Hashtbl.find_opt t.counts idx) in
+    Hashtbl.replace t.counts idx (cur + 1);
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. v;
+    if v < t.mn then t.mn <- v;
+    if v > t.mx then t.mx <- v
+  end
+
+let merge dst src =
+  assert (dst.sub = src.sub);
+  Hashtbl.iter
+    (fun idx c ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt dst.counts idx) in
+      Hashtbl.replace dst.counts idx (cur + c))
+    src.counts;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum +. src.sum;
+  if src.mn < dst.mn then dst.mn <- src.mn;
+  if src.mx > dst.mx then dst.mx <- src.mx
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+
+let sorted_buckets t =
+  let items = Hashtbl.fold (fun idx c acc -> (idx, c) :: acc) t.counts [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) items
+
+let percentile t q =
+  if t.n = 0 then nan
+  else begin
+    let target = q *. float_of_int t.n in
+    let rec walk acc = function
+      | [] -> t.mx
+      | (idx, c) :: rest ->
+        let acc = acc +. float_of_int c in
+        if acc >= target then value_of t idx else walk acc rest
+    in
+    walk 0.0 (sorted_buckets t)
+  end
+
+let max_value t = if t.n = 0 then nan else t.mx
+let min_value t = if t.n = 0 then nan else t.mn
+
+let clear t =
+  Hashtbl.reset t.counts;
+  t.n <- 0;
+  t.sum <- 0.0;
+  t.mn <- infinity;
+  t.mx <- neg_infinity
+
+let pp ppf t =
+  if t.n = 0 then Format.fprintf ppf "(empty)"
+  else
+    Format.fprintf ppf "n=%d mean=%.1f p50=%.1f p99=%.1f max=%.1f" t.n (mean t)
+      (percentile t 0.5) (percentile t 0.99) t.mx

@@ -1,0 +1,38 @@
+(** Log-bucketed latency histogram (HdrHistogram-style).
+
+    Records non-negative values with bounded relative error (one bucket
+    per power of two, [sub] sub-buckets each), so p99 of a billion
+    samples costs O(buckets) memory. Used for latency telemetry. *)
+
+type t
+
+val create : ?sub:int -> unit -> t
+(** [sub] sub-buckets per octave (default 32 — ~3% relative error). *)
+
+val add : t -> float -> unit
+(** Record a value. Negative or NaN values are ignored. *)
+
+val merge : t -> t -> unit
+(** [merge dst src] adds all of [src]'s counts into [dst]. The two must
+    have the same [sub]. *)
+
+val count : t -> int
+val total : t -> float
+
+val mean : t -> float
+(** Approximate mean (bucket midpoints); [nan] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t q], [q] in [\[0,1\]]; [nan] when empty. Returns the
+    representative (midpoint) value of the bucket holding the q-th
+    sample. *)
+
+val max_value : t -> float
+(** Largest recorded value (exact). [nan] when empty. *)
+
+val min_value : t -> float
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: count / mean / p50 / p99 / max. *)

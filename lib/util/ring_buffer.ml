@@ -1,0 +1,48 @@
+type 'a t = {
+  data : 'a option array;
+  cap : int;
+  mutable head : int; (* index of next write *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create cap =
+  assert (cap > 0);
+  { data = Array.make cap None; cap; head = 0; len = 0; dropped = 0 }
+
+let capacity t = t.cap
+let length t = t.len
+
+let push t x =
+  if t.len = t.cap then t.dropped <- t.dropped + 1 else t.len <- t.len + 1;
+  t.data.(t.head) <- Some x;
+  t.head <- (t.head + 1) mod t.cap
+
+let dropped t = t.dropped
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ring_buffer.get";
+  let start = (t.head - t.len + t.cap) mod t.cap in
+  match t.data.((start + i) mod t.cap) with
+  | Some x -> x
+  | None -> assert false
+
+let newest t = if t.len = 0 then None else Some (get t (t.len - 1))
+let oldest t = if t.len = 0 then None else Some (get t 0)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0

@@ -1,0 +1,33 @@
+(** Fixed-capacity ring buffer.
+
+    The telemetry store keeps the most recent [capacity] samples per
+    series; older samples are overwritten. This bounds monitor memory —
+    the "storage" half of the paper's §3.1-Q2 dilemma. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity]. Requires [capacity > 0]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Append, overwriting the oldest element when full. *)
+
+val dropped : 'a t -> int
+(** Number of elements overwritten so far (telemetry loss counter). *)
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the i-th oldest retained element, [0 <= i < length t].
+    @raise Invalid_argument when out of range. *)
+
+val newest : 'a t -> 'a option
+val oldest : 'a t -> 'a option
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest to newest. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val clear : 'a t -> unit

@@ -1,0 +1,81 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  let ncols = List.length t.columns in
+  let n = List.length cells in
+  if n > ncols then invalid_arg "Table.add_row: too many cells";
+  let cells = if n < ncols then cells @ List.init (ncols - n) (fun _ -> "") else cells in
+  t.rows <- cells :: t.rows
+
+let add_rowf t fmt =
+  Format.kasprintf (fun s -> add_row t (String.split_on_char '|' s |> List.map String.trim)) fmt
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) row)
+    all;
+  let buf = Buffer.create 256 in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line row =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i c ->
+        Buffer.add_string buf (pad c widths.(i));
+        Buffer.add_string buf " | ")
+      row;
+    (* drop trailing space *)
+    let len = Buffer.length buf in
+    Buffer.truncate buf (len - 1);
+    Buffer.add_char buf '\n'
+  in
+  let sep () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  sep ();
+  line t.columns;
+  sep ();
+  List.iter line rows;
+  sep ();
+  Buffer.contents buf
+
+let csv_cell c =
+  if String.contains c ',' || String.contains c '"' then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let row cells = Buffer.add_string buf (String.concat "," (List.map csv_cell cells) ^ "\n") in
+  row t.columns;
+  List.iter row (List.rev t.rows);
+  Buffer.contents buf
+
+let title t = t.title
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_f x =
+  if Float.is_nan x then "-"
+  else if Float.abs x >= 1000.0 then Printf.sprintf "%.0f" x
+  else if Float.abs x >= 10.0 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.3f" x

@@ -1,0 +1,31 @@
+(** Plain-text table rendering for the experiment harness.
+
+    Every experiment prints its results as one of these tables so the
+    bench output can be compared side by side with the paper. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Row cells, one per column. Short rows are padded with [""];
+    long rows raise [Invalid_argument]. *)
+
+val add_rowf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Convenience: format one string and split it on ['|'] into cells. *)
+
+val render : t -> string
+(** ASCII rendering with a title line, a header, column alignment and
+    separators. *)
+
+val to_csv : t -> string
+(** Machine-readable rendering: header row then data rows, cells
+    quoted when they contain commas. The title is not included. *)
+
+val title : t -> string
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+val cell_f : float -> string
+(** Standard float cell: ["-"] for NaN, 3 significant digits style. *)

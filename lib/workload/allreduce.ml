@@ -1,0 +1,143 @@
+module Fabric = Ihnet_engine.Fabric
+module Flow = Ihnet_engine.Flow
+module T = Ihnet_topology
+module U = Ihnet_util
+
+type config = {
+  tenant : int;
+  ring : string list;
+  data_bytes : float;
+  iterations : int;
+}
+
+type t = {
+  fabric : Fabric.t;
+  config : config;
+  edges : T.Path.t list; (* gpu_i -> gpu_{i+1}, cyclic *)
+  times : U.Histogram.t;
+  mutable iters : int;
+  mutable running : bool;
+  mutable live : Flow.t list;
+}
+
+let dev fabric name =
+  match T.Topology.device_by_name (Fabric.topology fabric) name with
+  | Some d -> d.T.Device.id
+  | None -> invalid_arg ("Allreduce: no device " ^ name)
+
+let route fabric a b =
+  match T.Routing.shortest_path (Fabric.topology fabric) a b with
+  | Some p when p.T.Path.hops <> [] -> p
+  | Some _ | None -> invalid_arg "Allreduce: ring devices not connected"
+
+let ring_edges fabric ring =
+  let ids = List.map (dev fabric) ring in
+  let n = List.length ids in
+  List.mapi (fun i a -> route fabric a (List.nth ids ((i + 1) mod n))) ids
+
+let start fabric config =
+  if List.length config.ring < 2 then invalid_arg "Allreduce: ring needs >= 2 devices";
+  assert (config.data_bytes > 0.0 && config.iterations > 0);
+  let t =
+    {
+      fabric;
+      config;
+      edges = ring_edges fabric config.ring;
+      times = U.Histogram.create ();
+      iters = 0;
+      running = true;
+      live = [];
+    }
+  in
+  let n = List.length config.ring in
+  let chunk = config.data_bytes /. float_of_int n in
+  let steps_per_iter = 2 * (n - 1) in
+  let rec step ~iteration_start ~remaining_steps =
+    if t.running then begin
+      if remaining_steps = 0 then begin
+        let now = Fabric.now t.fabric in
+        U.Histogram.add t.times (now -. iteration_start);
+        t.iters <- t.iters + 1;
+        if t.iters < t.config.iterations then
+          step ~iteration_start:now ~remaining_steps:steps_per_iter
+        else t.running <- false
+      end
+      else begin
+        let outstanding = ref (List.length t.edges) in
+        t.live <-
+          List.map
+            (fun path ->
+              Fabric.start_flow t.fabric ~tenant:t.config.tenant ~path ~size:(Flow.Bytes chunk)
+                ~on_complete:(fun f ->
+                  t.live <- List.filter (fun (x : Flow.t) -> x.Flow.id <> f.Flow.id) t.live;
+                  decr outstanding;
+                  if !outstanding = 0 then
+                    step ~iteration_start ~remaining_steps:(remaining_steps - 1))
+                ())
+            t.edges
+      end
+    end
+  in
+  step ~iteration_start:(Fabric.now fabric) ~remaining_steps:steps_per_iter;
+  t
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    List.iter (Fabric.stop_flow t.fabric) t.live;
+    t.live <- []
+  end
+
+let iterations_done t = t.iters
+let iteration_times t = t.times
+let running t = t.running
+
+let algorithmic_bandwidth t =
+  if U.Histogram.count t.times = 0 then nan
+  else begin
+    let median = U.Histogram.percentile t.times 0.5 in
+    t.config.data_bytes /. (median /. 1e9)
+  end
+
+(* {1 Ring placement} *)
+
+let ring_cost topo ring =
+  let id name =
+    match T.Topology.device_by_name topo name with
+    | Some d -> d.T.Device.id
+    | None -> invalid_arg ("Allreduce.ring_cost: no device " ^ name)
+  in
+  let ids = List.map id ring in
+  let n = List.length ids in
+  List.fold_left ( +. ) 0.0
+    (List.mapi
+       (fun i a ->
+         match T.Routing.shortest_path topo a (List.nth ids ((i + 1) mod n)) with
+         | Some p -> T.Path.base_latency p
+         | None -> infinity)
+       ids)
+
+(* all permutations of [xs] *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) xs in
+        List.map (fun p -> x :: p) (permutations rest))
+      xs
+
+let optimize_ring topo ring =
+  match ring with
+  | [] | [ _ ] -> ring
+  | first :: rest ->
+    let candidates = List.map (fun p -> first :: p) (permutations rest) in
+    let best, _ =
+      List.fold_left
+        (fun (best, best_cost) candidate ->
+          let cost = ring_cost topo candidate in
+          if cost < best_cost then (candidate, cost) else (best, best_cost))
+        (ring, ring_cost topo ring)
+        candidates
+    in
+    best

@@ -1,0 +1,84 @@
+(** Traffic generators: reusable arrival/size processes that drive the
+    fabric. All randomness comes from a caller-provided {!Ihnet_util.Rng.t}
+    stream, so scenarios are reproducible. *)
+
+module Fabric = Ihnet_engine.Fabric
+module Flow = Ihnet_engine.Flow
+
+type size_dist =
+  | Fixed of float  (** Every transfer has this many bytes. *)
+  | Uniform of float * float
+  | Pareto of { alpha : float; x_min : float }
+      (** Heavy-tailed transfer sizes (datacenter flow-size mix). *)
+
+val draw_size : Ihnet_util.Rng.t -> size_dist -> float
+
+type stream
+(** A running generator; stop it to cease new arrivals. *)
+
+val poisson_transfers :
+  Fabric.t ->
+  rng:Ihnet_util.Rng.t ->
+  tenant:int ->
+  ?cls:Flow.cls ->
+  ?payload_bytes:int ->
+  ?llc_target:bool ->
+  rate_per_s:float ->
+  size:size_dist ->
+  path:Ihnet_topology.Path.t ->
+  ?on_transfer:(bytes:float -> duration:Ihnet_util.Units.ns -> unit) ->
+  unit ->
+  stream
+(** Transfers of random size arrive with exponential inter-arrival
+    times (mean [1/rate_per_s] seconds); each becomes a finite flow on
+    [path]. [on_transfer] fires at each completion with the measured
+    duration. *)
+
+val constant_stream :
+  Fabric.t ->
+  tenant:int ->
+  ?cls:Flow.cls ->
+  ?payload_bytes:int ->
+  ?llc_target:bool ->
+  ?weight:float ->
+  rate:float ->
+  path:Ihnet_topology.Path.t ->
+  unit ->
+  stream
+(** An unbounded flow whose source offers exactly [rate] bytes/s. *)
+
+val elastic_stream :
+  Fabric.t ->
+  tenant:int ->
+  ?cls:Flow.cls ->
+  ?payload_bytes:int ->
+  ?llc_target:bool ->
+  ?weight:float ->
+  path:Ihnet_topology.Path.t ->
+  unit ->
+  stream
+(** An unbounded flow that takes whatever the fabric gives (a bulk
+    copy, an aggressor). *)
+
+val on_off_stream :
+  Fabric.t ->
+  tenant:int ->
+  ?cls:Flow.cls ->
+  ?llc_target:bool ->
+  rate:float ->
+  period:Ihnet_util.Units.ns ->
+  duty:float ->
+  path:Ihnet_topology.Path.t ->
+  unit ->
+  stream
+(** Bursty source: offers [rate] for [duty × period], then idles.
+    [duty] in (0,1]. *)
+
+val stop : stream -> unit
+(** Stop new arrivals and any active flow of this stream. Idempotent. *)
+
+val transferred_bytes : stream -> float
+(** Total goodput moved by the stream's flows so far. *)
+
+val current_rate : stream -> float
+(** Allocated rate of the stream's live flow(s) right now. *)

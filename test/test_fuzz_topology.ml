@@ -1,0 +1,99 @@
+(* Fuzzing across randomly shaped hosts: the engine/routing invariants
+   must hold on any valid topology, not only the canned ones. *)
+
+module E = Ihnet_engine
+module T = Ihnet_topology
+module U = Ihnet_util
+
+let prop name ?(count = 60) gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen f)
+
+(* random-but-valid host shapes via the parametric builder *)
+let topo_gen =
+  QCheck.make
+    ~print:(fun (s, sw, d) -> Printf.sprintf "scaled %dx%dx%d" s sw d)
+    QCheck.Gen.(
+      let* s = int_range 1 4 in
+      let* sw = int_range 1 3 in
+      let* d = int_range 1 5 in
+      return (s, sw, d))
+
+let build (s, sw, d) = T.Builder.scaled ~sockets:s ~switches_per_socket:sw ~devices_per_switch:d ()
+
+(* random spec text: sockets + devices on random attachment points *)
+let spec_gen =
+  QCheck.make
+    ~print:(fun s -> s)
+    QCheck.Gen.(
+      let* sockets = int_range 1 3 in
+      let* devices = int_range 1 6 in
+      let* kinds = list_size (return devices) (int_range 0 3) in
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf "host fuzz\n";
+      for i = 0 to sockets - 1 do
+        Buffer.add_string buf (Printf.sprintf "socket %d mc=1 channels=2\n" i)
+      done;
+      let* positions = list_size (return devices) (int_range 0 (sockets - 1)) in
+      List.iteri
+        (fun i (kind, sock) ->
+          let line =
+            match kind with
+            | 0 -> Printf.sprintf "nic n%d at %d:%d port=100\n" i sock i
+            | 1 -> Printf.sprintf "gpu g%d at %d:%d\n" i sock i
+            | 2 -> Printf.sprintf "ssd s%d at %d:%d\n" i sock i
+            | _ -> Printf.sprintf "fpga f%d at %d:%d\n" i sock i
+          in
+          Buffer.add_string buf line)
+        (List.combine kinds positions);
+      (* specs need at least one nic so 'ext' is connected *)
+      Buffer.add_string buf (Printf.sprintf "nic lastnic at 0:%d port=100\n" devices);
+      return (Buffer.contents buf))
+
+let suites =
+  [
+    ( "fuzz.topology",
+      [
+        prop "scaled hosts validate and route between all endpoints" topo_gen (fun shape ->
+            let topo = build shape in
+            Result.is_ok (T.Topology.validate topo)
+            && List.for_all
+                 (fun (a : T.Device.t) ->
+                   List.for_all
+                     (fun (b : T.Device.t) ->
+                       T.Routing.reachable topo a.T.Device.id b.T.Device.id)
+                     (T.Topology.find_devices topo T.Device.is_endpoint))
+                 (T.Topology.find_devices topo T.Device.is_endpoint));
+        prop "a flow on any endpoint pair gets a positive, feasible rate" topo_gen
+          (fun shape ->
+            let topo = build shape in
+            let sim = E.Sim.create () in
+            let fab = E.Fabric.create sim topo in
+            let endpoints =
+              Array.of_list (T.Topology.find_devices topo T.Device.is_io_device)
+            in
+            Array.length endpoints = 0
+            ||
+            let a = endpoints.(0) and b = endpoints.(Array.length endpoints - 1) in
+            (match T.Routing.shortest_path topo a.T.Device.id b.T.Device.id with
+            | None -> false
+            | Some p when p.T.Path.hops = [] -> true
+            | Some p ->
+              let f = E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:E.Flow.Unbounded () in
+              let feasible =
+                List.for_all
+                  (fun (l : T.Link.t) ->
+                    E.Fabric.link_rate fab l.T.Link.id T.Link.Fwd
+                    <= l.T.Link.capacity *. 1.001
+                    && E.Fabric.link_rate fab l.T.Link.id T.Link.Rev
+                       <= l.T.Link.capacity *. 1.001)
+                  (T.Topology.links topo)
+              in
+              f.E.Flow.rate > 0.0 && feasible));
+        prop "random specs parse into valid topologies" ~count:80 spec_gen (fun text ->
+            match T.Spec.parse text with
+            | Ok topo ->
+              Result.is_ok (T.Topology.validate topo)
+              && T.Topology.device_by_name topo "ext" <> None
+            | Error _ -> false);
+      ] );
+  ]

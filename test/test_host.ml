@@ -1,0 +1,161 @@
+(* Integration tests for the Ihnet.Host facade — end-to-end scenarios. *)
+
+open Ihnet
+module E = Ihnet_engine
+module T = Ihnet_topology
+module U = Ihnet_util
+module W = Ihnet_workload
+module Mon = Ihnet_monitor
+module R = Ihnet_manager
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let host_tests =
+  [
+    tc "presets build and validate" (fun () ->
+        List.iter
+          (fun preset -> ignore (Host.create preset))
+          [ Host.Two_socket; Host.Dgx; Host.Epyc; Host.Minimal ]);
+    tc "custom topology is validated" (fun () ->
+        let bad = T.Topology.create ~name:"bad" () in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Host.create (Host.Custom bad));
+             false
+           with Invalid_argument _ -> true));
+    tc "run_for advances the clock" (fun () ->
+        let h = Host.create Host.Minimal in
+        Host.run_for h (U.Units.ms 5.0);
+        Alcotest.(check (float 1.0)) "now" (U.Units.ms 5.0) (Host.now h));
+    tc "tenants register through the host" (fun () ->
+        let h = Host.create Host.Minimal in
+        let t1 = Host.add_tenant h ~name:"kv" in
+        Alcotest.(check int) "first vm id" 1 t1.W.Tenant.id);
+    tc "diagnostics shortcuts work" (fun () ->
+        let h = Host.create Host.Two_socket in
+        (match Host.ping h ~src:"nic0" ~dst:"socket0" with
+        | Some rtt -> Alcotest.(check bool) "rtt" true (rtt > 0.0)
+        | None -> Alcotest.fail "lost");
+        Alcotest.(check bool) "trace" true (List.length (Host.trace h ~src:"ext" ~dst:"gpu0") >= 3);
+        Alcotest.(check bool) "bandwidth" true (Host.bandwidth h ~src:"gpu0" ~dst:"ssd0" > 1e9));
+    tc "monitoring and manager are idempotent" (fun () ->
+        let h = Host.create Host.Minimal in
+        let s1 = Host.start_monitoring h () in
+        let s2 = Host.start_monitoring h () in
+        Alcotest.(check bool) "same sampler" true (s1 == s2);
+        let m1 = Host.enable_manager h () in
+        let m2 = Host.enable_manager h () in
+        Alcotest.(check bool) "same manager" true (m1 == m2));
+    tc "clean config reports no findings" (fun () ->
+        let h = Host.create Host.Two_socket in
+        Alcotest.(check (list string)) "clean" [] (Host.check_configuration h));
+  ]
+
+(* End-to-end scenario: the paper's §2 interference story plus its §3
+   remedy, in one test. *)
+let scenario_tests =
+  [
+    tc "E2E: aggressor hurts the kv store; the manager heals it" (fun () ->
+        let h = Host.create Host.Two_socket in
+        let fab = Host.fabric h in
+        let kv_tenant = Host.add_tenant h ~name:"kv" in
+        let ml_tenant = Host.add_tenant h ~name:"ml" in
+        (* phase 1: kv alone *)
+        let kv =
+          W.Kvstore.start fab (W.Kvstore.default_config ~tenant:kv_tenant.W.Tenant.id ~nic:"nic0")
+        in
+        Host.run_for h (U.Units.ms 10.0);
+        let alone = U.Histogram.percentile (W.Kvstore.latencies kv) 0.99 in
+        (* phase 2: co-located ML trainer steals the PCIe subtree *)
+        let ml =
+          W.Mltrain.start fab
+            {
+              (W.Mltrain.default_config ~tenant:ml_tenant.W.Tenant.id ~gpu:"gpu0"
+                 ~data_source:"dimm0.0.0") with
+              W.Mltrain.compute_time = 0.0;
+            }
+        in
+        Host.run_for h (U.Units.ms 20.0);
+        let contended = U.Histogram.percentile (W.Kvstore.latencies kv) 0.99 in
+        Alcotest.(check bool) "interference visible" true (contended > alone *. 1.2);
+        (* phase 3: submit an intent; the shim protects the kv flows *)
+        let mgr = Host.enable_manager h () in
+        (match
+           Host.submit_intent h
+             (R.Intent.pipe ~tenant:kv_tenant.W.Tenant.id ~src:"ext" ~dst:"socket0"
+                ~rate:(U.Units.gbps 4.0))
+         with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail e);
+        Host.run_for h (U.Units.ms 30.0);
+        Alcotest.(check bool) "manager engaged" true (R.Manager.decisions mgr > 0);
+        Alcotest.(check bool) "kv keeps its rate under management" true
+          (W.Kvstore.achieved_rate kv >= W.Kvstore.offered_rate kv *. 0.98);
+        W.Mltrain.stop ml;
+        W.Kvstore.stop kv);
+    tc "E2E: monitor pipeline detects an injected anomaly" (fun () ->
+        let h = Host.create Host.Two_socket in
+        let fab = Host.fabric h in
+        let sampler =
+          Host.start_monitoring h
+            ~config:
+              {
+                (Mon.Sampler.default_config ()) with
+                Mon.Sampler.period = U.Units.us 100.0;
+                fidelity = Mon.Counter.Oracle;
+              }
+            ()
+        in
+        let topo = Host.topology h in
+        let nic = Option.get (T.Topology.device_by_name topo "nic0") in
+        let sw = Option.get (T.Topology.device_by_name topo "pciesw0") in
+        let link =
+          match T.Topology.links_between topo sw.T.Device.id nic.T.Device.id with
+          | [ l ] -> l.T.Link.id
+          | _ -> Alcotest.fail "expected one link"
+        in
+        let platform = Mon.Anomaly.create () in
+        Mon.Anomaly.watch platform
+          ~series:(Mon.Sampler.util_series link T.Link.Rev)
+          (Mon.Anomaly.Threshold { above = Some 0.8; below = None });
+        Host.run_for h (U.Units.ms 5.0);
+        Mon.Anomaly.feed platform (Mon.Sampler.telemetry sampler);
+        Alcotest.(check bool) "quiet" true (Mon.Anomaly.alarms platform = []);
+        (* loopback aggressor saturates the nic link *)
+        let lb = W.Rdma.start_loopback fab ~tenant:5 ~nic:"nic0" () in
+        Host.run_for h (U.Units.ms 5.0);
+        Mon.Anomaly.feed platform (Mon.Sampler.telemetry sampler);
+        Alcotest.(check bool) "alarm" true (Mon.Anomaly.alarms platform <> []);
+        W.Rdma.stop_loopback lb);
+    tc "E2E: dgx host sustains many concurrent tenants" (fun () ->
+        let h = Host.create Host.Dgx in
+        let fab = Host.fabric h in
+        let topo = Host.topology h in
+        (* one trainer per GPU pair, one storage stream, heartbeats on *)
+        ignore (Host.start_heartbeats h ());
+        let trainers =
+          List.filter_map
+            (fun i ->
+              let gpu = Printf.sprintf "gpu%d" i in
+              if T.Topology.device_by_name topo gpu <> None then
+                Some
+                  (W.Mltrain.start fab
+                     {
+                       (W.Mltrain.default_config ~tenant:(i + 1) ~gpu ~data_source:"dimm0.0.0") with
+                       W.Mltrain.batch_bytes = U.Units.mib 32.0;
+                       compute_time = U.Units.ms 1.0;
+                     })
+              else None)
+            [ 0; 2; 4; 6 ]
+        in
+        Host.run_for h (U.Units.ms 50.0);
+        List.iter
+          (fun tr -> Alcotest.(check bool) "progress" true (W.Mltrain.iterations_done tr >= 2))
+          trainers;
+        (* heartbeats stayed healthy *)
+        match Host.heartbeat h with
+        | Some hb -> Alcotest.(check bool) "no failures" true (Mon.Heartbeat.failing_pairs hb = [])
+        | None -> Alcotest.fail "no heartbeat");
+  ]
+
+let suites = [ ("host.facade", host_tests); ("host.scenarios", scenario_tests) ]

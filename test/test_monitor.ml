@@ -1,0 +1,478 @@
+(* Unit and integration tests for ihnet_monitor. *)
+
+open Ihnet_monitor
+module E = Ihnet_engine
+module T = Ihnet_topology
+module U = Ihnet_util
+module W = Ihnet_workload
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let make_host ?config () =
+  let topo = T.Builder.two_socket_server ?config () in
+  let sim = E.Sim.create () in
+  let fab = E.Fabric.create sim topo in
+  (topo, sim, fab)
+
+let dev topo name =
+  match T.Topology.device_by_name topo name with
+  | Some d -> d.T.Device.id
+  | None -> Alcotest.failf "no device %s" name
+
+let path fab a b =
+  let topo = E.Fabric.topology fab in
+  match T.Routing.shortest_path topo (dev topo a) (dev topo b) with
+  | Some p -> p
+  | None -> Alcotest.failf "no path %s->%s" a b
+
+let first_link (p : T.Path.t) =
+  match p.T.Path.hops with
+  | h :: _ -> (h.T.Path.link.T.Link.id, h.T.Path.dir)
+  | [] -> Alcotest.fail "empty path"
+
+(* {1 Counter fidelity} *)
+
+let counter_tests =
+  [
+    tc "hardware fidelity hides per-tenant bytes" (fun () ->
+        let _, sim, fab = make_host () in
+        let c = Counter.create fab ~fidelity:(Counter.Hardware { max_read_hz = 1000.0 }) in
+        let p = path fab "nic0" "dimm0.0.0" in
+        ignore (E.Fabric.start_flow fab ~tenant:3 ~path:p ~size:E.Flow.Unbounded ());
+        E.Sim.run ~until:(U.Units.ms 1.0) sim;
+        let link, dir = first_link p in
+        let r = Counter.read c link dir ~tenants:[ 3 ] in
+        Alcotest.(check bool) "bytes visible" true (r.Counter.wire_bytes > 0.0);
+        Alcotest.(check (list (pair int (float 0.0)))) "no tenant view" [] r.Counter.per_tenant);
+    tc "software fidelity sees tenants but not induced traffic" (fun () ->
+        let _, sim, fab = make_host () in
+        let c = Counter.create fab ~fidelity:Counter.Software in
+        let p = path fab "nic0" "dimm0.0.0" in
+        ignore (E.Fabric.start_flow fab ~tenant:3 ~path:p ~size:E.Flow.Unbounded ());
+        E.Sim.run ~until:(U.Units.ms 1.0) sim;
+        let link, dir = first_link p in
+        let r = Counter.read c link dir ~tenants:[ 3 ] in
+        (match r.Counter.per_tenant with
+        | [ (3, b) ] -> Alcotest.(check bool) "tenant bytes" true (b > 0.0)
+        | _ -> Alcotest.fail "expected tenant 3 attribution");
+        Alcotest.(check bool) "ddio hidden" true (Counter.ddio_hit_rate c ~socket:0 = None));
+    tc "hardware reads are rate limited (stale reads)" (fun () ->
+        let _, sim, fab = make_host () in
+        let c = Counter.create fab ~fidelity:(Counter.Hardware { max_read_hz = 1000.0 }) in
+        let p = path fab "nic0" "dimm0.0.0" in
+        ignore (E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:E.Flow.Unbounded ());
+        let link, dir = first_link p in
+        E.Sim.run ~until:(U.Units.ms 1.0) sim;
+        let r1 = Counter.read c link dir ~tenants:[] in
+        (* 10 us later: below the 1 ms min interval -> same stale value *)
+        E.Sim.run ~until:(U.Units.ms 1.0 +. U.Units.us 10.0) sim;
+        let r2 = Counter.read c link dir ~tenants:[] in
+        Alcotest.(check (float 0.0)) "stale" r1.Counter.wire_bytes r2.Counter.wire_bytes;
+        (* 2 ms later: fresh *)
+        E.Sim.run ~until:(U.Units.ms 3.0) sim;
+        let r3 = Counter.read c link dir ~tenants:[] in
+        Alcotest.(check bool) "fresh" true (r3.Counter.wire_bytes > r1.Counter.wire_bytes));
+    tc "oracle sees everything" (fun () ->
+        let _, sim, fab = make_host () in
+        let c = Counter.create fab ~fidelity:Counter.Oracle in
+        let p = path fab "nic0" "socket0" in
+        ignore (E.Fabric.start_flow fab ~tenant:2 ~llc_target:true ~path:p ~size:E.Flow.Unbounded ());
+        E.Sim.run ~until:(U.Units.ms 1.0) sim;
+        Alcotest.(check bool) "ddio visible" true (Counter.ddio_hit_rate c ~socket:0 <> None);
+        let link, dir = first_link p in
+        let r = Counter.read c link dir ~tenants:[ 2 ] in
+        Alcotest.(check bool) "tenant visible" true (r.Counter.per_tenant <> []));
+  ]
+
+(* {1 Telemetry} *)
+
+let telemetry_tests =
+  [
+    tc "record and query" (fun () ->
+        let tm = Telemetry.create () in
+        Telemetry.record tm ~series:"a" ~at:1.0 10.0;
+        Telemetry.record tm ~series:"a" ~at:2.0 20.0;
+        Alcotest.(check int) "len" 2 (Telemetry.length tm ~series:"a");
+        (match Telemetry.latest tm ~series:"a" with
+        | Some s -> Alcotest.(check (float 0.0)) "latest" 20.0 s.Telemetry.value
+        | None -> Alcotest.fail "no latest");
+        Alcotest.(check (list string)) "names" [ "a" ] (Telemetry.series_names tm));
+    tc "window filters by time" (fun () ->
+        let tm = Telemetry.create () in
+        List.iter (fun i -> Telemetry.record tm ~series:"s" ~at:(float_of_int i) 0.0) [ 1; 2; 3; 4 ];
+        Alcotest.(check int) "since 3" 2 (List.length (Telemetry.window tm ~series:"s" ~since:3.0)));
+    tc "rate_of_change derives bytes/s" (fun () ->
+        let tm = Telemetry.create () in
+        Telemetry.record tm ~series:"bytes" ~at:0.0 0.0;
+        Telemetry.record tm ~series:"bytes" ~at:1e9 5e9;
+        match Telemetry.rate_of_change tm ~series:"bytes" with
+        | Some r -> Alcotest.(check (float 1.0)) "5 GB/s" 5e9 r
+        | None -> Alcotest.fail "expected rate");
+    tc "capacity bound drops oldest" (fun () ->
+        let tm = Telemetry.create ~capacity_per_series:4 () in
+        for i = 1 to 10 do
+          Telemetry.record tm ~series:"x" ~at:(float_of_int i) (float_of_int i)
+        done;
+        Alcotest.(check int) "bounded" 4 (Telemetry.length tm ~series:"x");
+        Alcotest.(check int) "dropped" 6 (Telemetry.dropped_samples tm);
+        Alcotest.(check int) "footprint" 4 (Telemetry.memory_samples tm));
+  ]
+
+(* {1 Sampler} *)
+
+let sampler_tests =
+  [
+    tc "sampler populates series at the configured period" (fun () ->
+        let _, sim, fab = make_host () in
+        let config = { (Sampler.default_config ()) with Sampler.period = U.Units.us 100.0 } in
+        let s = Sampler.start fab config in
+        E.Sim.run ~until:(U.Units.ms 1.0) sim;
+        Alcotest.(check bool) "ticked ~10x" true (Sampler.ticks s >= 9 && Sampler.ticks s <= 11);
+        let names = Telemetry.series_names (Sampler.telemetry s) in
+        Alcotest.(check bool) "has util series" true
+          (List.exists (fun n -> n = Sampler.util_series 0 T.Link.Fwd) names);
+        Sampler.stop s);
+    tc "local processing burns cpu time" (fun () ->
+        let _, sim, fab = make_host () in
+        let config =
+          {
+            (Sampler.default_config ()) with
+            Sampler.processing = Sampler.Local { cost_per_sample = 100.0 };
+          }
+        in
+        let s = Sampler.start fab config in
+        E.Sim.run ~until:(U.Units.ms 1.0) sim;
+        Alcotest.(check bool) "cpu burned" true (Sampler.cpu_time_consumed s > 0.0);
+        Alcotest.(check (float 0.0)) "nothing shipped" 0.0 (Sampler.shipping_rate s);
+        Sampler.stop s);
+    tc "shipping consumes fabric bandwidth as Monitoring class" (fun () ->
+        let _, sim, fab = make_host () in
+        let config =
+          {
+            (Sampler.default_config ()) with
+            Sampler.processing = Sampler.Ship { collector = "socket0"; bytes_per_sample = 64.0 };
+          }
+        in
+        let s = Sampler.start fab config in
+        E.Sim.run ~until:(U.Units.ms 2.0) sim;
+        Alcotest.(check bool) "shipping rate" true (Sampler.shipping_rate s > 0.0);
+        Alcotest.(check bool) "wire bytes" true (Sampler.monitoring_wire_bytes s > 0.0);
+        Sampler.stop s;
+        Alcotest.(check (float 0.0)) "stopped" 0.0 (Sampler.shipping_rate s));
+    tc "faster sampling ships more" (fun () ->
+        let run period =
+          let _, sim, fab = make_host () in
+          let config =
+            {
+              (Sampler.default_config ()) with
+              Sampler.period;
+              processing = Sampler.Ship { collector = "socket0"; bytes_per_sample = 64.0 };
+            }
+          in
+          let s = Sampler.start fab config in
+          E.Sim.run ~until:(U.Units.ms 2.0) sim;
+          Sampler.shipping_rate s
+        in
+        Alcotest.(check bool) "10x" true (run (U.Units.us 10.0) > run (U.Units.us 100.0) *. 5.0));
+  ]
+
+(* {1 Heartbeat + localization} *)
+
+let heartbeat_tests =
+  [
+    tc "healthy fabric: no failures, no suspects" (fun () ->
+        let _, sim, fab = make_host () in
+        let hb = Heartbeat.start fab () in
+        E.Sim.run ~until:(U.Units.ms 20.0) sim;
+        Alcotest.(check bool) "rounds" true (Heartbeat.rounds hb > 10);
+        Alcotest.(check (list (pair int int))) "no failures" [] (Heartbeat.failing_pairs hb);
+        Alcotest.(check bool) "no suspects" true (Heartbeat.localize hb = []);
+        Alcotest.(check bool) "no detection" true (Heartbeat.first_detection hb = None);
+        Heartbeat.stop hb);
+    tc "silent switch degradation is detected and localized" (fun () ->
+        let topo, sim, fab = make_host () in
+        let hb = Heartbeat.start fab () in
+        E.Sim.run ~until:(U.Units.ms 10.0) sim;
+        (* degrade the rp0.0 - pciesw0 upstream link: extra 2 us silently *)
+        let rp = dev topo "rp0.0" and sw = dev topo "pciesw0" in
+        let bad_link =
+          match T.Topology.links_between topo rp sw with
+          | [ l ] -> l.T.Link.id
+          | _ -> Alcotest.fail "expected one link"
+        in
+        E.Fabric.inject_fault fab bad_link
+          (E.Fault.degrade ~capacity_factor:1.0 ~extra_latency:(U.Units.us 2.0) ());
+        E.Sim.run ~until:(U.Units.ms 15.0) sim;
+        (match Heartbeat.first_detection hb with
+        | Some at ->
+          Alcotest.(check bool) "detected soon after injection" true
+            (at >= U.Units.ms 10.0 && at <= U.Units.ms 13.0)
+        | None -> Alcotest.fail "not detected");
+        (match Heartbeat.localize hb with
+        | (top :: _) as suspects ->
+          (* serial links on the same probe paths are indistinguishable
+             by boolean tomography: require the true link to be among
+             the suspects at the maximal score *)
+          let truth =
+            List.find_opt (fun s -> s.Heartbeat.link = bad_link) suspects
+          in
+          (match truth with
+          | Some s ->
+            Alcotest.(check (float 1e-9)) "maximal score" top.Heartbeat.score s.Heartbeat.score
+          | None -> Alcotest.fail "true link not suspected")
+        | [] -> Alcotest.fail "no suspects");
+        Heartbeat.stop hb);
+    tc "link loss shows as lost probes" (fun () ->
+        let topo, sim, fab = make_host () in
+        let hb = Heartbeat.start fab () in
+        E.Sim.run ~until:(U.Units.ms 10.0) sim;
+        let nic = dev topo "nic1" and rp = dev topo "rp0.1" in
+        let bad_link =
+          match T.Topology.links_between topo rp nic with
+          | [ l ] -> l.T.Link.id
+          | _ -> Alcotest.fail "expected one link"
+        in
+        E.Fabric.inject_fault fab bad_link E.Fault.down;
+        E.Sim.run ~until:(U.Units.ms 13.0) sim;
+        let lost =
+          List.exists
+            (fun (r : Heartbeat.probe_result) -> r.Heartbeat.outcome = `Lost)
+            (Heartbeat.results hb)
+        in
+        Alcotest.(check bool) "lost probes" true lost;
+        Heartbeat.stop hb);
+    tc "a probing subset only watches its own paths" (fun () ->
+        let topo, sim, fab = make_host () in
+        (* only the two GPUs probe each other *)
+        let hb =
+          Heartbeat.start fab ~devices:[ dev topo "gpu0"; dev topo "gpu1" ] ()
+        in
+        E.Sim.run ~until:(U.Units.ms 10.0) sim;
+        Alcotest.(check int) "two ordered pairs" 2 (List.length (Heartbeat.results hb));
+        (* a fault on nic1's link is invisible to this mesh *)
+        (match T.Topology.links_between topo (dev topo "rp0.1") (dev topo "nic1") with
+        | [ l ] ->
+          E.Fabric.inject_fault fab l.T.Link.id
+            { E.Fault.capacity_factor = 1.0; extra_latency = U.Units.us 50.0; loss_prob = 0.0 }
+        | _ -> Alcotest.fail "expected one link");
+        E.Sim.run ~until:(U.Units.ms 15.0) sim;
+        Alcotest.(check bool) "blind outside its scope" true (Heartbeat.healthy hb);
+        Heartbeat.stop hb);
+    tc "probe traffic is accounted" (fun () ->
+        let _, sim, fab = make_host () in
+        let hb = Heartbeat.start fab () in
+        E.Sim.run ~until:(U.Units.ms 5.0) sim;
+        Alcotest.(check bool) "bytes" true (Heartbeat.probe_wire_bytes hb > 0.0);
+        Heartbeat.stop hb);
+  ]
+
+(* {1 Anomaly platform} *)
+
+let anomaly_tests =
+  [
+    tc "threshold detector fires on crossing" (fun () ->
+        let a = Anomaly.create () in
+        Anomaly.watch a ~series:"u" (Anomaly.Threshold { above = Some 0.9; below = None });
+        Anomaly.observe a ~series:"u" ~at:1.0 0.5;
+        Alcotest.(check bool) "quiet" true (Anomaly.alarms a = []);
+        Anomaly.observe a ~series:"u" ~at:2.0 0.95;
+        Alcotest.(check int) "fired" 1 (List.length (Anomaly.alarms a)));
+    tc "ewma detector fires on spikes only after warm-up" (fun () ->
+        let a = Anomaly.create () in
+        Anomaly.watch a ~series:"lat" (Anomaly.Ewma_deviation { alpha = 0.2; k = 4.0 });
+        let rng = U.Rng.create 5 in
+        for i = 1 to 100 do
+          Anomaly.observe a ~series:"lat" ~at:(float_of_int i) (100.0 +. U.Rng.gaussian rng 0.0 3.0)
+        done;
+        Alcotest.(check bool) "quiet in control" true (Anomaly.alarms a = []);
+        Anomaly.observe a ~series:"lat" ~at:101.0 500.0;
+        Alcotest.(check bool) "fired" true (Anomaly.alarms a <> []));
+    tc "cusum catches small persistent shift" (fun () ->
+        let a = Anomaly.create () in
+        Anomaly.watch a ~series:"util" (Anomaly.Cusum { drift = 0.5; threshold = 5.0 });
+        let rng = U.Rng.create 5 in
+        for i = 1 to 50 do
+          Anomaly.observe a ~series:"util" ~at:(float_of_int i) (0.5 +. U.Rng.gaussian rng 0.0 0.02)
+        done;
+        Alcotest.(check bool) "quiet" true (Anomaly.alarms a = []);
+        for i = 51 to 90 do
+          Anomaly.observe a ~series:"util" ~at:(float_of_int i) (0.58 +. U.Rng.gaussian rng 0.0 0.02)
+        done;
+        Alcotest.(check bool) "fired" true (Anomaly.alarms a <> []));
+    tc "feed consumes telemetry incrementally" (fun () ->
+        let a = Anomaly.create () in
+        let tm = Telemetry.create () in
+        Anomaly.watch a ~series:"x" (Anomaly.Threshold { above = Some 10.0; below = None });
+        Telemetry.record tm ~series:"x" ~at:1.0 20.0;
+        Anomaly.feed a tm;
+        Alcotest.(check int) "one alarm" 1 (List.length (Anomaly.alarms a));
+        (* feeding again without new samples must not duplicate *)
+        Anomaly.feed a tm;
+        Alcotest.(check int) "still one" 1 (List.length (Anomaly.alarms a));
+        Telemetry.record tm ~series:"x" ~at:2.0 30.0;
+        Anomaly.feed a tm;
+        Alcotest.(check int) "two" 2 (List.length (Anomaly.alarms a)));
+    tc "clean default config has no findings" (fun () ->
+        let topo = T.Builder.two_socket_server () in
+        Alcotest.(check (list string)) "clean" [] (Anomaly.check_configuration topo));
+    tc "misconfigurations are reported" (fun () ->
+        let config =
+          {
+            T.Hostconfig.default with
+            T.Hostconfig.ddio = T.Hostconfig.Ddio_off;
+            pcie_mps = 128;
+            acs = true;
+            interrupt_moderation = U.Units.us 50.0;
+          }
+        in
+        let topo = T.Builder.two_socket_server ~config () in
+        let findings = Anomaly.check_configuration topo in
+        Alcotest.(check bool) "several" true (List.length findings >= 3));
+  ]
+
+(* {1 Root cause} *)
+
+let rootcause_tests =
+  [
+    tc "names the aggressor tenant on the congested hop" (fun () ->
+        let _, sim, fab = make_host () in
+        (* victim: kv-like path; aggressor: tenant 7 loopback via same subtree *)
+        let victim_path = path fab "ext" "socket0" in
+        ignore
+          (E.Fabric.start_flow fab ~tenant:1 ~demand:1e8 ~path:victim_path
+             ~size:E.Flow.Unbounded ());
+        let agg = W.Rdma.start_loopback fab ~tenant:7 ~nic:"nic0" () in
+        E.Sim.run ~until:(U.Units.ms 1.0) sim;
+        let counter = Counter.create fab ~fidelity:Counter.Oracle in
+        let before = Rootcause.snapshot counter ~tenants:[ 1; 7 ] in
+        E.Sim.run ~until:(U.Units.ms 5.0) sim;
+        let after = Rootcause.snapshot counter ~tenants:[ 1; 7 ] in
+        let culprits = Rootcause.diagnose counter ~before ~after ~victim_path in
+        (match Rootcause.top_aggressor culprits with
+        | Some (tn, rate) ->
+          Alcotest.(check int) "tenant 7" 7 tn;
+          Alcotest.(check bool) "dominant" true (rate > 1e9)
+        | None -> Alcotest.fail "no aggressor found");
+        W.Rdma.stop_loopback agg);
+    tc "snapshots must be ordered" (fun () ->
+        let _, sim, fab = make_host () in
+        let counter = Counter.create fab ~fidelity:Counter.Oracle in
+        let snap = Rootcause.snapshot counter ~tenants:[] in
+        E.Sim.run ~until:(U.Units.ms 1.0) sim;
+        let later = Rootcause.snapshot counter ~tenants:[] in
+        let victim_path = path fab "ext" "socket0" in
+        Alcotest.check_raises "order" (Invalid_argument "Rootcause.diagnose: snapshots out of order")
+          (fun () -> ignore (Rootcause.diagnose counter ~before:later ~after:snap ~victim_path)));
+    tc "hardware fidelity cannot name the aggressor" (fun () ->
+        let _, sim, fab = make_host () in
+        (* the victim enters via nic0, where the aggressor sits *)
+        let victim_path = T.Path.concat (path fab "ext" "nic0") (path fab "nic0" "socket0") in
+        let agg = W.Rdma.start_loopback fab ~tenant:7 ~nic:"nic0" () in
+        E.Sim.run ~until:(U.Units.ms 1.0) sim;
+        let counter = Counter.create fab ~fidelity:(Counter.Hardware { max_read_hz = 1e6 }) in
+        let before = Rootcause.snapshot counter ~tenants:[ 7 ] in
+        E.Sim.run ~until:(U.Units.ms 5.0) sim;
+        let after = Rootcause.snapshot counter ~tenants:[ 7 ] in
+        let culprits = Rootcause.diagnose counter ~before ~after ~victim_path in
+        (* congestion is visible... *)
+        Alcotest.(check bool) "hop found" true
+          (match culprits with c :: _ -> c.Rootcause.utilization > 0.9 | [] -> false);
+        (* ...but nobody can be blamed *)
+        Alcotest.(check bool) "no attribution" true
+          (Rootcause.top_aggressor culprits = None);
+        W.Rdma.stop_loopback agg);
+  ]
+
+(* {1 Diagnostics} *)
+
+let diagnostics_tests =
+  [
+    tc "ping_once returns a plausible RTT" (fun () ->
+        let _, _, fab = make_host () in
+        match Diagnostics.ping_once fab ~src:"nic0" ~dst:"dimm0.0.0" with
+        | Some rtt -> Alcotest.(check bool) "order of magnitude" true (rtt > 400.0 && rtt < 5_000.0)
+        | None -> Alcotest.fail "lost on healthy fabric");
+    tc "ping runs its schedule and reports" (fun () ->
+        let _, sim, fab = make_host () in
+        let finished = ref false in
+        let report =
+          Diagnostics.ping fab ~src:"nic0" ~dst:"socket0" ~count:20
+            ~on_done:(fun _ -> finished := true)
+            ()
+        in
+        E.Sim.run sim;
+        Alcotest.(check bool) "done" true !finished;
+        Alcotest.(check int) "sent" 20 report.Diagnostics.sent;
+        Alcotest.(check int) "none lost" 0 report.Diagnostics.lost;
+        Alcotest.(check int) "rtts" 20 (U.Histogram.count report.Diagnostics.rtts));
+    tc "ping counts losses on a faulty path" (fun () ->
+        let topo, sim, fab = make_host () in
+        let nic = dev topo "nic1" and rp = dev topo "rp0.1" in
+        (match T.Topology.links_between topo rp nic with
+        | [ l ] ->
+          E.Fabric.inject_fault fab l.T.Link.id
+            { E.Fault.capacity_factor = 1.0; extra_latency = 0.0; loss_prob = 0.5 }
+        | _ -> Alcotest.fail "expected one link");
+        let report = Diagnostics.ping fab ~src:"nic1" ~dst:"socket0" ~count:100 () in
+        E.Sim.run sim;
+        Alcotest.(check bool) "some lost" true
+          (report.Diagnostics.lost > 20 && report.Diagnostics.lost < 80));
+    tc "trace decomposes the path per hop" (fun () ->
+        let _, _, fab = make_host () in
+        let hops = Diagnostics.trace fab ~src:"ext" ~dst:"dimm0.0.0" in
+        Alcotest.(check bool) "several hops" true (List.length hops >= 5);
+        let last = List.nth hops (List.length hops - 1) in
+        Alcotest.(check string) "ends at dimm" "dimm0.0.0" last.Diagnostics.hop_device;
+        List.iter
+          (fun (h : Diagnostics.trace_hop) ->
+            Alcotest.(check bool) "loaded >= base" true
+              (h.Diagnostics.loaded_latency >= h.Diagnostics.base_latency))
+          hops);
+    tc "perf measures the bottleneck bandwidth" (fun () ->
+        let _, sim, fab = make_host () in
+        let got = ref None in
+        Diagnostics.perf fab ~src:"nic0" ~dst:"dimm0.0.0" ~duration:(U.Units.ms 5.0)
+          ~on_done:(fun r -> got := Some r)
+          ();
+        E.Sim.run sim;
+        (match !got with
+        | Some r ->
+          (* DDR channel is the bottleneck: ~25.6 GB/s *)
+          Alcotest.(check bool) "rate" true
+            (r.Diagnostics.achieved_rate > 24e9 && r.Diagnostics.achieved_rate < 26e9);
+          Alcotest.(check bool) "bottleneck reported" true (r.Diagnostics.bottleneck <> None)
+        | None -> Alcotest.fail "no report");
+        Alcotest.(check int) "probe flow cleaned up" 0 (E.Fabric.flow_count fab));
+    tc "perf_now estimates without traffic" (fun () ->
+        let _, _, fab = make_host () in
+        let bw = Diagnostics.perf_now fab ~src:"gpu0" ~dst:"ssd0" in
+        Alcotest.(check bool) "pcie-ish" true (bw > 20e9 && bw < 35e9));
+    tc "dump captures flows on a link sorted by rate" (fun () ->
+        let _, sim, fab = make_host () in
+        let p = path fab "nic0" "dimm0.0.0" in
+        ignore (E.Fabric.start_flow fab ~tenant:1 ~cap:1e9 ~path:p ~size:E.Flow.Unbounded ());
+        ignore (E.Fabric.start_flow fab ~tenant:2 ~path:p ~size:E.Flow.Unbounded ());
+        E.Sim.run ~until:(U.Units.us 10.0) sim;
+        let link, dir = first_link p in
+        let captured = Diagnostics.dump fab ~link ~dir () in
+        Alcotest.(check int) "two flows" 2 (List.length captured);
+        (match captured with
+        | a :: b :: _ ->
+          Alcotest.(check bool) "sorted" true (a.Diagnostics.rate >= b.Diagnostics.rate);
+          Alcotest.(check int) "big one is tenant 2" 2 a.Diagnostics.tenant
+        | _ -> Alcotest.fail "expected two");
+        (* direction filter: reverse dir sees nothing *)
+        let captured_rev = Diagnostics.dump fab ~link ~dir:(T.Link.opposite dir) () in
+        Alcotest.(check int) "dir filter" 0 (List.length captured_rev));
+  ]
+
+let suites =
+  [
+    ("monitor.counter", counter_tests);
+    ("monitor.telemetry", telemetry_tests);
+    ("monitor.sampler", sampler_tests);
+    ("monitor.heartbeat", heartbeat_tests);
+    ("monitor.anomaly", anomaly_tests);
+    ("monitor.rootcause", rootcause_tests);
+    ("monitor.diagnostics", diagnostics_tests);
+  ]

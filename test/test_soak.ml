@@ -1,0 +1,143 @@
+(* Soak test: 200 simulated milliseconds of everything at once —
+   monitoring, heartbeats, managed and unmanaged tenants, churn, and
+   faults injected and repaired mid-flight. The assertions are global
+   invariants, not scenario specifics: capacity conservation, telemetry
+   liveness, fault detection and recovery, guarantee compliance, and a
+   clean teardown. *)
+
+module E = Ihnet_engine
+module T = Ihnet_topology
+module U = Ihnet_util
+module W = Ihnet_workload
+module Mon = Ihnet_monitor
+module R = Ihnet_manager
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let soak () =
+  let host = Ihnet.Host.create ~seed:1234 Ihnet.Host.Two_socket in
+  let fab = Ihnet.Host.fabric host in
+  let sim = Ihnet.Host.sim host in
+  let topo = Ihnet.Host.topology host in
+  let rng = U.Rng.create 77 in
+  (* monitoring stack *)
+  let sampler =
+    Ihnet.Host.start_monitoring host
+      ~config:
+        {
+          (Mon.Sampler.default_config ()) with
+          Mon.Sampler.period = U.Units.us 200.0;
+          fidelity = Mon.Counter.Oracle;
+        }
+      ()
+  in
+  let hb = Ihnet.Host.start_heartbeats host () in
+  (* manager with one protected tenant *)
+  let mgr = Ihnet.Host.enable_manager host () in
+  (match
+     Ihnet.Host.submit_intent host
+       (R.Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:(U.Units.gbps 4.0))
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* steady workloads *)
+  let kv = W.Kvstore.start fab (W.Kvstore.default_config ~tenant:1 ~nic:"nic0") in
+  let ml =
+    W.Mltrain.start fab
+      {
+        (W.Mltrain.default_config ~tenant:2 ~gpu:"gpu0" ~data_source:"dimm0.0.0") with
+        W.Mltrain.compute_time = U.Units.ms 1.0;
+      }
+  in
+  let st = W.Storage.start fab (W.Storage.default_config ~tenant:3 ~ssd:"ssd1" ~target:"dimm1.0.0") in
+  let ar =
+    W.Allreduce.start fab
+      { W.Allreduce.tenant = 4; ring = [ "gpu0"; "gpu1" ]; data_bytes = U.Units.mib 32.0; iterations = 1000 }
+  in
+  (* a fault that appears at 60 ms and is repaired at 120 ms *)
+  let bad_link =
+    match T.Topology.links_between topo
+            (Option.get (T.Topology.device_by_name topo "rp1.0")).T.Device.id
+            (Option.get (T.Topology.device_by_name topo "pciesw1")).T.Device.id
+    with
+    | l :: _ -> l.T.Link.id
+    | [] -> Alcotest.fail "no rp1.0-pciesw1 link"
+  in
+  E.Sim.schedule sim ~after:(U.Units.ms 60.0) (fun _ ->
+      E.Fabric.inject_fault fab bad_link
+        { E.Fault.capacity_factor = 0.5; extra_latency = U.Units.us 3.0; loss_prob = 0.0 });
+  E.Sim.schedule sim ~after:(U.Units.ms 120.0) (fun _ -> E.Fabric.clear_fault fab bad_link);
+  (* tenant churn: short bulk transfers appearing at random *)
+  let churn_path =
+    Option.get
+      (T.Routing.shortest_path topo
+         (Option.get (T.Topology.device_by_name topo "nic2")).T.Device.id
+         (Option.get (T.Topology.device_by_name topo "dimm1.1.0")).T.Device.id)
+  in
+  let rec churn _ =
+    if E.Sim.now sim < U.Units.ms 190.0 then begin
+      ignore
+        (E.Fabric.start_flow fab ~tenant:(5 + U.Rng.int rng 3) ~path:churn_path
+           ~size:(E.Flow.Bytes (U.Rng.uniform rng 1e6 5e7)) ());
+      E.Sim.schedule sim ~after:(U.Rng.exponential rng (U.Units.ms 3.0)) churn
+    end
+  in
+  E.Sim.schedule sim ~after:0.0 churn;
+  (* run, checking conservation every 10 ms and sampling heartbeat
+     health so the fault era (60-120 ms) can be checked afterwards *)
+  let conservation_ok = ref true in
+  let sick_during_fault = ref false in
+  for step = 1 to 20 do
+    Ihnet.Host.run_for host (U.Units.ms 10.0);
+    if step > 6 && step <= 12 && not (Mon.Heartbeat.healthy hb) then
+      sick_during_fault := true;
+    List.iter
+      (fun (l : T.Link.t) ->
+        List.iter
+          (fun dir ->
+            let rate = E.Fabric.link_rate fab l.T.Link.id dir in
+            let cap = E.Fabric.effective_capacity fab l.T.Link.id dir in
+            if rate > (cap *. 1.001) +. 1.0 then conservation_ok := false)
+          [ T.Link.Fwd; T.Link.Rev ])
+      (T.Topology.links topo)
+  done;
+  (host, fab, sampler, hb, mgr, kv, ml, st, ar, !conservation_ok, !sick_during_fault)
+
+let soak_tests =
+  [
+    tc "200 ms of everything at once upholds the global invariants" (fun () ->
+        let host, fab, sampler, hb, mgr, kv, ml, st, ar, conservation_ok, sick_during_fault =
+          soak ()
+        in
+        (* capacity conservation held at every checkpoint *)
+        Alcotest.(check bool) "conservation" true conservation_ok;
+        (* all workloads made progress *)
+        Alcotest.(check bool) "kv sampled" true (U.Histogram.count (W.Kvstore.latencies kv) > 1000);
+        Alcotest.(check bool) "ml progressed" true (W.Mltrain.iterations_done ml >= 10);
+        Alcotest.(check bool) "storage progressed" true (W.Storage.completed_ops st > 500);
+        Alcotest.(check bool) "allreduce progressed" true (W.Allreduce.iterations_done ar >= 10);
+        (* monitoring stayed alive and saw the fault *)
+        Alcotest.(check bool) "sampler ticked" true (Mon.Sampler.ticks sampler > 900);
+        Alcotest.(check bool) "fault era flagged by heartbeats" true sick_during_fault;
+        Alcotest.(check bool) "recovered after repair" true (Mon.Heartbeat.healthy hb);
+        (* the protected tenant's SLO held at the end *)
+        let report = R.Slo.check mgr in
+        Alcotest.(check bool) "tenant 1 compliant" true (R.Slo.tenant_compliant report ~tenant:1);
+        (* teardown drains cleanly *)
+        W.Kvstore.stop kv;
+        W.Mltrain.stop ml;
+        W.Storage.stop st;
+        W.Allreduce.stop ar;
+        Mon.Heartbeat.stop hb;
+        Mon.Sampler.stop sampler;
+        R.Manager.stop_shim mgr;
+        Ihnet.Host.run_for host (U.Units.ms 20.0);
+        let leftover =
+          List.filter
+            (fun (f : E.Flow.t) -> f.E.Flow.cls = E.Flow.Payload)
+            (E.Fabric.active_flows fab)
+        in
+        Alcotest.(check int) "no leaked payload flows" 0 (List.length leftover));
+  ]
+
+let suites = [ ("soak", soak_tests) ]

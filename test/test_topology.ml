@@ -1,0 +1,292 @@
+(* Unit and property tests for ihnet_topology. *)
+
+open Ihnet_topology
+module U = Ihnet_util.Units
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_close ?(eps = 1e-6) msg expected actual = Alcotest.(check (float eps)) msg expected actual
+
+let dev_id topo name =
+  match Topology.device_by_name topo name with
+  | Some d -> d.Device.id
+  | None -> Alcotest.failf "no device %s" name
+
+(* {1 PCIe model} *)
+
+let pcie_tests =
+  [
+    tc "gen4 x16 raw bandwidth matches Figure 1's ~256 Gbps" (fun () ->
+        let bw = Pcie.raw_bandwidth (Pcie.v Pcie.Gen4 16) in
+        let gbps = U.to_gbps bw in
+        Alcotest.(check bool) "in 250..256" true (gbps > 250.0 && gbps < 256.0));
+    tc "gen3 x16 is ~126 Gbps" (fun () ->
+        let gbps = U.to_gbps (Pcie.raw_bandwidth (Pcie.v Pcie.Gen3 16)) in
+        Alcotest.(check bool) "in 120..128" true (gbps > 120.0 && gbps < 128.0));
+    tc "gen1/2 pay 8b/10b" (fun () ->
+        check_close "0.8" 0.8 (Pcie.encoding_efficiency Pcie.Gen1);
+        check_close "0.8" 0.8 (Pcie.encoding_efficiency Pcie.Gen2));
+    tc "bandwidth scales with lanes" (fun () ->
+        let x8 = Pcie.raw_bandwidth (Pcie.v Pcie.Gen4 8) in
+        let x16 = Pcie.raw_bandwidth (Pcie.v Pcie.Gen4 16) in
+        check_close ~eps:1.0 "double" (2.0 *. x8) x16);
+    tc "payload efficiency improves with MPS" (fun () ->
+        let e128 = Pcie.payload_efficiency ~mps:128 in
+        let e512 = Pcie.payload_efficiency ~mps:512 in
+        Alcotest.(check bool) "monotone" true (e512 > e128);
+        Alcotest.(check bool) "sub-unit" true (e512 < 1.0));
+    tc "rejects bad lane counts" (fun () ->
+        Alcotest.check_raises "x3" (Invalid_argument "Pcie.v: lanes must be one of 1,2,4,8,16")
+          (fun () -> ignore (Pcie.v Pcie.Gen4 3)));
+  ]
+
+(* {1 Hostconfig} *)
+
+let hostconfig_tests =
+  [
+    tc "default validates" (fun () ->
+        match Hostconfig.validate Hostconfig.default with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+    tc "rejects non-power-of-two MPS" (fun () ->
+        let c = { Hostconfig.default with Hostconfig.pcie_mps = 200 } in
+        Alcotest.(check bool) "error" true (Result.is_error (Hostconfig.validate c)));
+    tc "rejects io_ways > llc_ways" (fun () ->
+        let c =
+          {
+            Hostconfig.default with
+            Hostconfig.ddio = Hostconfig.Ddio_on { llc_ways = 4; io_ways = 8; way_size = 1e6 };
+          }
+        in
+        Alcotest.(check bool) "error" true (Result.is_error (Hostconfig.validate c)));
+    tc "rejects negative interrupt moderation" (fun () ->
+        let c = { Hostconfig.default with Hostconfig.interrupt_moderation = -1.0 } in
+        Alcotest.(check bool) "error" true (Result.is_error (Hostconfig.validate c)));
+  ]
+
+(* {1 Graph construction} *)
+
+let graph_tests =
+  [
+    tc "add_device assigns dense ids and unique names" (fun () ->
+        let topo = Topology.create ~name:"t" () in
+        let a = Topology.add_device topo ~name:"a" ~kind:Device.Gpu ~socket:0 in
+        let b = Topology.add_device topo ~name:"b" ~kind:Device.Gpu ~socket:0 in
+        Alcotest.(check int) "id0" 0 a.Device.id;
+        Alcotest.(check int) "id1" 1 b.Device.id;
+        Alcotest.check_raises "dup" (Invalid_argument "Topology.add_device: duplicate name a")
+          (fun () -> ignore (Topology.add_device topo ~name:"a" ~kind:Device.Gpu ~socket:0)));
+    tc "add_link validates endpoints" (fun () ->
+        let topo = Topology.create ~name:"t" () in
+        let a = Topology.add_device topo ~name:"a" ~kind:Device.Gpu ~socket:0 in
+        Alcotest.check_raises "unknown" (Invalid_argument "Topology.add_link: unknown endpoint")
+          (fun () ->
+            ignore
+              (Topology.add_link topo ~kind:Link.Intra_socket ~a:a.Device.id ~b:99 ~capacity:1.0
+                 ~base_latency:0.0));
+        Alcotest.check_raises "self" (Invalid_argument "Topology.add_link: self-loop") (fun () ->
+            ignore
+              (Topology.add_link topo ~kind:Link.Intra_socket ~a:a.Device.id ~b:a.Device.id
+                 ~capacity:1.0 ~base_latency:0.0)));
+    tc "neighbors lists incident links" (fun () ->
+        let topo = Topology.create ~name:"t" () in
+        let a = Topology.add_device topo ~name:"a" ~kind:Device.Gpu ~socket:0 in
+        let b = Topology.add_device topo ~name:"b" ~kind:Device.Gpu ~socket:0 in
+        let c = Topology.add_device topo ~name:"c" ~kind:Device.Gpu ~socket:0 in
+        ignore
+          (Topology.add_link topo ~kind:Link.Intra_socket ~a:a.Device.id ~b:b.Device.id
+             ~capacity:1.0 ~base_latency:1.0);
+        ignore
+          (Topology.add_link topo ~kind:Link.Intra_socket ~a:a.Device.id ~b:c.Device.id
+             ~capacity:1.0 ~base_latency:1.0);
+        Alcotest.(check int) "two" 2 (List.length (Topology.neighbors topo a.Device.id));
+        Alcotest.(check int) "one" 1 (List.length (Topology.neighbors topo b.Device.id)));
+    tc "validate rejects disconnected graphs" (fun () ->
+        let topo = Topology.create ~name:"t" () in
+        ignore (Topology.add_device topo ~name:"a" ~kind:Device.Gpu ~socket:0);
+        ignore (Topology.add_device topo ~name:"b" ~kind:Device.Gpu ~socket:0);
+        Alcotest.(check bool) "error" true (Result.is_error (Topology.validate topo)));
+    tc "validate rejects empty topology" (fun () ->
+        let topo = Topology.create ~name:"t" () in
+        Alcotest.(check bool) "error" true (Result.is_error (Topology.validate topo)));
+  ]
+
+(* {1 Builders} *)
+
+let builder_tests =
+  [
+    tc "two_socket_server validates" (fun () ->
+        match Topology.validate (Builder.two_socket_server ()) with
+        | Ok () -> ()
+        | Error es -> Alcotest.fail (String.concat "; " es));
+    tc "two_socket_server has Figure 1's inventory" (fun () ->
+        let topo = Builder.two_socket_server () in
+        let count k =
+          List.length
+            (Topology.find_devices topo (fun d -> Device.kind_label d.Device.kind = k))
+        in
+        Alcotest.(check int) "sockets" 2 (count "cpu-socket");
+        Alcotest.(check int) "switches" 2 (count "pcie-switch");
+        Alcotest.(check int) "nics" 3 (count "nic");
+        Alcotest.(check int) "gpus" 2 (count "gpu");
+        Alcotest.(check int) "ssds" 2 (count "nvme-ssd");
+        Alcotest.(check int) "dimms" 12 (count "dimm"));
+    tc "dgx_like has 8 GPUs and 8 NICs" (fun () ->
+        let topo = Builder.dgx_like () in
+        let count p = List.length (Topology.find_devices topo p) in
+        Alcotest.(check int) "gpus" 8
+          (count (fun d -> match d.Device.kind with Device.Gpu -> true | _ -> false));
+        Alcotest.(check int) "nics" 8
+          (count (fun d -> match d.Device.kind with Device.Nic _ -> true | _ -> false));
+        Alcotest.(check bool) "valid" true (Result.is_ok (Topology.validate topo)));
+    tc "epyc_like validates" (fun () ->
+        Alcotest.(check bool) "valid" true
+          (Result.is_ok (Topology.validate (Builder.epyc_like ()))));
+    tc "minimal validates" (fun () ->
+        Alcotest.(check bool) "valid" true (Result.is_ok (Topology.validate (Builder.minimal ()))));
+    tc "scaled grows with parameters" (fun () ->
+        let small = Builder.scaled ~sockets:1 ~switches_per_socket:1 ~devices_per_switch:2 () in
+        let large = Builder.scaled ~sockets:4 ~switches_per_socket:4 ~devices_per_switch:4 () in
+        Alcotest.(check bool) "more devices" true
+          (Topology.device_count large > Topology.device_count small);
+        Alcotest.(check bool) "valid small" true (Result.is_ok (Topology.validate small));
+        Alcotest.(check bool) "valid large" true (Result.is_ok (Topology.validate large)));
+    tc "pcie upstream/downstream classification" (fun () ->
+        let topo = Builder.two_socket_server () in
+        let sw = dev_id topo "pciesw0" and rp = dev_id topo "rp0.0" and nic = dev_id topo "nic0" in
+        (match Topology.links_between topo rp sw with
+        | [ l ] ->
+          Alcotest.(check bool) "upstream" true (Topology.pcie_position topo l = `Upstream);
+          Alcotest.(check (option int)) "class 3" (Some 3) (Topology.figure1_class topo l)
+        | _ -> Alcotest.fail "expected one rp-sw link");
+        match Topology.links_between topo sw nic with
+        | [ l ] ->
+          Alcotest.(check bool) "downstream" true (Topology.pcie_position topo l = `Downstream);
+          Alcotest.(check (option int)) "class 4" (Some 4) (Topology.figure1_class topo l)
+        | _ -> Alcotest.fail "expected one sw-nic link");
+    tc "to_dot mentions every device" (fun () ->
+        let topo = Builder.minimal () in
+        let dot = Topology.to_dot topo in
+        Alcotest.(check bool) "nonempty" true (String.length dot > 100));
+  ]
+
+(* {1 Routing} *)
+
+let routing_tests =
+  [
+    tc "shortest path nic0 -> dimm crosses expected devices" (fun () ->
+        let topo = Builder.two_socket_server () in
+        let nic = dev_id topo "nic0" and dimm = dev_id topo "dimm0.0.0" in
+        match Routing.shortest_path topo nic dimm with
+        | None -> Alcotest.fail "no path"
+        | Some p ->
+          Alcotest.(check bool) "well formed" true (Path.well_formed topo p);
+          let names =
+            List.map (fun id -> (Topology.device topo id).Device.name) (Path.devices p)
+          in
+          Alcotest.(check bool) "via switch" true (List.mem "pciesw0" names);
+          Alcotest.(check bool) "via socket" true (List.mem "socket0" names));
+    tc "trivial path when src = dst" (fun () ->
+        let topo = Builder.minimal () in
+        let nic = dev_id topo "nic0" in
+        match Routing.shortest_path topo nic nic with
+        | Some p -> Alcotest.(check int) "no hops" 0 (Path.hop_count p)
+        | None -> Alcotest.fail "expected trivial path");
+    tc "avoid breaks the only route" (fun () ->
+        let topo = Builder.minimal () in
+        let nic = dev_id topo "nic0" and rp = dev_id topo "rp0.0" in
+        match Topology.links_between topo rp nic with
+        | [ l ] ->
+          let sock = dev_id topo "socket0" in
+          Alcotest.(check bool) "unreachable" true
+            (Routing.shortest_path ~avoid:[ l.Link.id ] topo nic sock = None)
+        | _ -> Alcotest.fail "expected single link");
+    tc "cross-socket path uses inter-socket link" (fun () ->
+        let topo = Builder.two_socket_server () in
+        let gpu0 = dev_id topo "gpu0" and gpu1 = dev_id topo "gpu1" in
+        match Routing.shortest_path topo gpu0 gpu1 with
+        | None -> Alcotest.fail "no path"
+        | Some p ->
+          let kinds = List.map (fun (l : Link.t) -> Link.kind_label l.Link.kind) (Path.links p) in
+          Alcotest.(check bool) "crosses sockets" true (List.mem "inter-socket" kinds));
+    tc "path latency equals sum of link latencies" (fun () ->
+        let topo = Builder.minimal () in
+        let nic = dev_id topo "nic0" and sock = dev_id topo "socket0" in
+        match Routing.shortest_path topo nic sock with
+        | None -> Alcotest.fail "no path"
+        | Some p ->
+          let expect =
+            List.fold_left (fun acc (l : Link.t) -> acc +. l.Link.base_latency) 0.0 (Path.links p)
+          in
+          check_close "latency" expect (Path.base_latency p));
+    tc "k_shortest returns distinct loop-free paths, best first" (fun () ->
+        let topo = Builder.two_socket_server () in
+        let gpu0 = dev_id topo "gpu0" and d = dev_id topo "dimm1.0.0" in
+        let paths = Routing.k_shortest_paths ~k:3 topo gpu0 d in
+        Alcotest.(check bool) "at least one" true (List.length paths >= 1);
+        let weights = List.map (Routing.path_weight `Latency) paths in
+        let sorted = List.sort compare weights in
+        Alcotest.(check (list (float 1e-9))) "sorted" sorted weights;
+        let keys =
+          List.map (fun p -> List.map (fun (l : Link.t) -> l.Link.id) (Path.links p)) paths
+        in
+        Alcotest.(check int) "distinct" (List.length keys)
+          (List.length (List.sort_uniq compare keys));
+        List.iter
+          (fun p ->
+            let devs = Path.devices p in
+            Alcotest.(check int) "loop free" (List.length devs)
+              (List.length (List.sort_uniq compare devs)))
+          paths);
+    tc "weight `Hops minimizes hop count" (fun () ->
+        let topo = Builder.two_socket_server () in
+        let nic = dev_id topo "nic0" and sock = dev_id topo "socket0" in
+        match Routing.shortest_path ~weight:`Hops topo nic sock with
+        | None -> Alcotest.fail "no path"
+        | Some p -> Alcotest.(check int) "hops" 4 (Path.hop_count p));
+  ]
+
+(* Property: on every builder topology, any two endpoint devices are
+   connected, and Dijkstra's result is well-formed. *)
+let routing_properties =
+  let topos =
+    [ Builder.two_socket_server (); Builder.dgx_like (); Builder.epyc_like (); Builder.minimal () ]
+  in
+  let gen =
+    QCheck.make
+      ~print:(fun (i, a, b) -> Printf.sprintf "topo%d %d->%d" i a b)
+      QCheck.Gen.(
+        let* i = int_range 0 (List.length topos - 1) in
+        let topo = List.nth topos i in
+        let n = Topology.device_count topo in
+        let* a = int_range 0 (n - 1) in
+        let* b = int_range 0 (n - 1) in
+        return (i, a, b))
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"all pairs reachable and paths well-formed" ~count:300 gen
+         (fun (i, a, b) ->
+           let topo = List.nth topos i in
+           match Routing.shortest_path topo a b with
+           | None -> false
+           | Some p ->
+             Path.well_formed topo p && p.Path.src = a && p.Path.dst = b));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"hop-count path never longer than latency path (in hops)"
+         ~count:200 gen (fun (i, a, b) ->
+           let topo = List.nth topos i in
+           match
+             (Routing.shortest_path ~weight:`Hops topo a b, Routing.shortest_path topo a b)
+           with
+           | Some h, Some l -> Path.hop_count h <= Path.hop_count l
+           | _ -> false));
+  ]
+
+let suites =
+  [
+    ("topology.pcie", pcie_tests);
+    ("topology.hostconfig", hostconfig_tests);
+    ("topology.graph", graph_tests);
+    ("topology.builders", builder_tests);
+    ("topology.routing", routing_tests @ routing_properties);
+  ]
