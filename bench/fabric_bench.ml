@@ -1,0 +1,161 @@
+(* Fabric/allocator scaling benchmark.
+
+   Emits a machine-readable BENCH_fabric.json (ops/sec per subject) so
+   successive PRs can track the perf trajectory of the allocation hot
+   path (the §3.2-Q3 "enforcement overhead" cost model).
+
+   Subjects:
+   - allocate-{64,512,4096}: one Fairshare.allocate call over n demands
+     with overlapping usages on a 96-resource pool (distinct weights and
+     caps so the filling front hits many separate events).
+   - flow-churn-{256,4096}: one start_flow + stop_flow pair against a
+     dgx-like fabric carrying that many GPU->local-NIC flows. The eight
+     gpu_i->nic_i paths are link-disjoint, so the churned flow's
+     contention component holds ~n/8 flows — the case incremental,
+     component-scoped reallocation is built for.
+   - flow-churn-coupled-4096: same, but every background flow crosses
+     switch/socket boundaries (gpu_i->nic_{i+3 mod 8}), welding the
+     whole host into one contention component. Worst case: the
+     component IS the full flow set, so only the allocator speedup
+     shows, not the scoping.
+
+   Usage: fabric_bench [--smoke] [-o FILE]
+   --smoke runs every subject exactly once (CI liveness check) and
+   writes no file. *)
+
+module E = Ihnet_engine
+module T = Ihnet_topology
+
+let usage () =
+  prerr_endline "usage: fabric_bench [--smoke] [-o FILE]";
+  exit 2
+
+let smoke, out_file =
+  let smoke = ref false and out = ref "BENCH_fabric.json" in
+  let rec parse i =
+    if i < Array.length Sys.argv then
+      match Sys.argv.(i) with
+      | "--smoke" ->
+          smoke := true;
+          parse (i + 1)
+      | "-o" when i + 1 < Array.length Sys.argv ->
+          out := Sys.argv.(i + 1);
+          parse (i + 2)
+      | a ->
+          Printf.eprintf "fabric_bench: unknown or incomplete argument %S\n" a;
+          usage ()
+  in
+  parse 1;
+  (!smoke, !out)
+
+(* ops/sec of [f], adaptively iterated; one shot in smoke mode *)
+let time_ops f =
+  if smoke then begin
+    ignore (f ());
+    0.0
+  end
+  else begin
+    ignore (f ());
+    (* warmup *)
+    let t0 = Unix.gettimeofday () in
+    let iters = ref 0 in
+    let min_time = 0.5 and min_iters = 5 in
+    while
+      let dt = Unix.gettimeofday () -. t0 in
+      dt < min_time || !iters < min_iters
+    do
+      ignore (f ());
+      incr iters
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    float_of_int !iters /. dt
+  end
+
+(* {1 allocate-n: the bare allocator} *)
+
+let make_demands n =
+  let nr = 96 in
+  Array.init n (fun i ->
+      {
+        E.Fairshare.weight = 1.0 +. (0.01 *. float_of_int (i mod 37));
+        floor = 0.01;
+        cap = (if i mod 4 = 0 then 5.0 +. (0.37 *. float_of_int (i mod 59)) else infinity);
+        usage =
+          [
+            (i mod nr, 1.0);
+            ((i * 7) + 1 mod nr, 1.1);
+            (((i * 13) + 5) mod nr, 1.0);
+          ]
+          |> List.map (fun (r, c) -> (r mod nr, c));
+      })
+
+let bench_allocate n =
+  let capacities = Array.init 96 (fun r -> 80.0 +. float_of_int (r mod 7)) in
+  let demands = make_demands n in
+  time_ops (fun () -> Sys.opaque_identity (E.Fairshare.allocate ~capacities demands))
+
+(* {1 flow-churn-n: start/stop against a loaded fabric} *)
+
+let bench_churn ~nic_of n =
+  let topo = T.Builder.dgx_like () in
+  let sim = E.Sim.create () in
+  let fab = E.Fabric.create sim topo in
+  let dev name =
+    match T.Topology.device_by_name topo name with
+    | Some d -> d.T.Device.id
+    | None -> failwith ("fabric_bench: no device " ^ name)
+  in
+  let paths =
+    List.init 8 (fun i ->
+        let src = Printf.sprintf "gpu%d" i and dst = Printf.sprintf "nic%d" (nic_of i) in
+        Option.get (T.Routing.shortest_path topo (dev src) (dev dst)))
+    |> Array.of_list
+  in
+  E.Fabric.batch fab (fun () ->
+      for i = 0 to n - 1 do
+        ignore
+          (E.Fabric.start_flow fab ~tenant:(1 + (i mod 16))
+             ~weight:(1.0 +. float_of_int (i mod 3))
+             ~path:paths.(i mod Array.length paths)
+             ~size:E.Flow.Unbounded ())
+      done);
+  let churn_path = paths.(0) in
+  time_ops (fun () ->
+      let f = E.Fabric.start_flow fab ~tenant:99 ~path:churn_path ~size:E.Flow.Unbounded () in
+      E.Fabric.stop_flow fab f)
+
+let bench_churn_local = bench_churn ~nic_of:Fun.id
+let bench_churn_coupled = bench_churn ~nic_of:(fun i -> (i + 3) mod 8)
+
+let () =
+  let subjects =
+    [
+      ("allocate-64", fun () -> bench_allocate 64);
+      ("allocate-512", fun () -> bench_allocate 512);
+      ("allocate-4096", fun () -> bench_allocate 4096);
+      ("flow-churn-256", fun () -> bench_churn_local 256);
+      ("flow-churn-4096", fun () -> bench_churn_local 4096);
+      ("flow-churn-coupled-4096", fun () -> bench_churn_coupled 4096);
+    ]
+  in
+  let results =
+    List.map
+      (fun (name, f) ->
+        let ops = f () in
+        if smoke then Printf.printf "%-18s ok\n%!" name
+        else Printf.printf "%-18s %12.1f ops/sec\n%!" name ops;
+        (name, ops))
+      subjects
+  in
+  if not smoke then begin
+    let oc = open_out out_file in
+    output_string oc "{\n  \"benchmark\": \"fabric\",\n  \"unit\": \"ops_per_sec\",\n  \"subjects\": {\n";
+    List.iteri
+      (fun i (name, ops) ->
+        Printf.fprintf oc "    \"%s\": %.2f%s\n" name ops
+          (if i = List.length results - 1 then "" else ","))
+      results;
+    output_string oc "  }\n}\n";
+    close_out oc;
+    Printf.printf "wrote %s\n%!" out_file
+  end

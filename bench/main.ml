@@ -71,6 +71,33 @@ let bench_fabric () =
       (Staged.stage (fun () -> Sys.opaque_identity (E.Fabric.path_latency fab path)));
   ]
 
+(* one start/stop against a dgx-like host already carrying [n] local
+   GPU->NIC flows: the incremental-reallocation hot path (see
+   fabric_bench.ml for the JSON-emitting scaling version) *)
+let bench_churn n =
+  let topo = T.Builder.dgx_like () in
+  let sim = E.Sim.create () in
+  let fab = E.Fabric.create sim topo in
+  let paths =
+    Array.init 8 (fun i ->
+        Option.get
+          (T.Routing.shortest_path topo
+             (dev topo (Printf.sprintf "gpu%d" i))
+             (dev topo (Printf.sprintf "nic%d" i))))
+  in
+  E.Fabric.batch fab (fun () ->
+      for i = 0 to n - 1 do
+        ignore
+          (E.Fabric.start_flow fab ~tenant:(1 + (i mod 16))
+             ~weight:(1.0 +. float_of_int (i mod 3))
+             ~path:paths.(i mod 8) ~size:E.Flow.Unbounded ())
+      done);
+  Test.make
+    ~name:(Printf.sprintf "flow-churn-%d" n)
+    (Staged.stage (fun () ->
+         let f = E.Fabric.start_flow fab ~tenant:99 ~path:paths.(0) ~size:E.Flow.Unbounded () in
+         E.Fabric.stop_flow fab f))
+
 let bench_monitor () =
   let topo = T.Builder.two_socket_server () in
   let sim = E.Sim.create () in
@@ -197,9 +224,17 @@ let () =
   print_endline "\n--- part 2: micro-benchmarks ---";
   let groups =
     [
-      Test.make_grouped ~name:"fairshare" [ bench_fairshare 4; bench_fairshare 32; bench_fairshare 256 ];
+      Test.make_grouped ~name:"fairshare"
+        [
+          bench_fairshare 4;
+          bench_fairshare 32;
+          bench_fairshare 64;
+          bench_fairshare 256;
+          bench_fairshare 512;
+          bench_fairshare 4096;
+        ];
       Test.make_grouped ~name:"routing" (bench_routing ());
-      Test.make_grouped ~name:"fabric" (bench_fabric ());
+      Test.make_grouped ~name:"fabric" (bench_fabric () @ [ bench_churn 512 ]);
       Test.make_grouped ~name:"monitor" (bench_monitor ());
       Test.make_grouped ~name:"manager" (bench_manager ());
       Test.make_grouped ~name:"sim" (bench_sim ());

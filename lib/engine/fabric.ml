@@ -1,7 +1,25 @@
 module T = Ihnet_topology
 module U = Ihnet_util
 
-type entry = { flow : Flow.t; usage : (int * float) list }
+(* An active flow plus the allocator-facing view of it. [conn] is the
+   connectivity footprint used to partition flows into contention
+   components: the usage resources, plus — for LLC-targeted flows —
+   the destination socket's virtual coupling resource and its memory
+   links, because DDIO spill couples every LLC-targeted flow on a
+   socket (and everything sharing the socket's memory bus) into one
+   component. *)
+type entry = {
+  flow : Flow.t;
+  usage : (int * float) list;
+  conn : int array;
+  mutable dem : Fairshare.demand;
+      (* cached allocator view; rebuilt only when the flow's limits
+         change, not on every reallocation *)
+  trow : float array; (* per-resource cumulative bytes, owning tenant's row *)
+  crow : float array; (* per-resource cumulative bytes, traffic class row *)
+  mutable mark : int; (* component-BFS visit generation *)
+  mutable hstamp : int; (* completion-heap generation (lazy invalidation) *)
+}
 
 (* Per-socket memory fan-out used to stripe induced DDIO traffic. *)
 type socket_mem = {
@@ -16,11 +34,11 @@ type t = {
   rng : U.Rng.t;
   faults : Fault.t;
   mutable cache : Cache.t;
-  mutable entries : entry list; (* active flows, insertion order (kept reversed) *)
+  entries : (int, entry) Hashtbl.t; (* flow id -> entry *)
   mutable next_flow_id : int;
   mutable epoch : int;
   mutable last_update : float;
-  mutable load : float array; (* per resource, set by reallocate *)
+  mutable load : float array; (* per resource, maintained by reallocate *)
   mutable flows_on : int array; (* active flow count per resource *)
   (* induced DDIO traffic, per socket *)
   mutable ddio_write : float array;
@@ -29,11 +47,29 @@ type t = {
   mutable spill_rr : float array; (* re-read rate, mem->socket *)
   socket_mems : socket_mem option array; (* indexed by socket number *)
   link_bytes : float array;
-  tenant_bytes_tbl : (int * int, float) Hashtbl.t; (* (resource, tenant) -> bytes *)
-  cls_bytes_tbl : (int * int, float) Hashtbl.t; (* (resource, cls index) -> bytes *)
+  tenant_rows : (int, float array) Hashtbl.t; (* tenant -> per-resource bytes *)
+  cls_rows : float array array; (* cls index -> per-resource bytes *)
+  induced_trow : float array; (* tenant 0's row, cached for the spill path *)
   mutable allocs : int;
   mutable in_batch : bool; (* defer reallocation inside Fabric.batch *)
   mutable listeners : (event -> unit) list; (* registration order *)
+  (* incremental allocation state *)
+  nr : int; (* real (link, dir) resource count *)
+  res_entries : entry list array; (* conn resource -> incident entries *)
+  socket_of_res : int array; (* conn resource -> DDIO-coupled socket, -1 if none *)
+  caps : float array; (* cached effective capacities, refreshed on faults *)
+  mutable comp_gen : int; (* BFS generation counter *)
+  res_mark : int array; (* conn resource -> last visit generation *)
+  socket_mark : int array; (* socket -> last visit generation *)
+  comp_entries : entry U.Vec.t; (* scratch: current component's members *)
+  comp_res : int U.Vec.t; (* scratch: current component's real resources *)
+  comp_sockets : int U.Vec.t; (* scratch: current component's coupled sockets *)
+  (* spill fixed-point scratch, indexed by socket *)
+  fx_wb : float array;
+  fx_rr : float array;
+  fx_write : float array;
+  fx_hit : float array;
+  cheap : (entry * int) U.Heap.t; (* completion times, prio = absolute ns *)
 }
 
 and event =
@@ -52,6 +88,7 @@ let cls_index : Flow.cls -> int = function
   | Flow.Probe -> 3
   | Flow.Induced -> 4
 
+let cls_count = 5
 let nresources topo = 2 * T.Topology.link_count topo
 
 (* Build the striped socket->memory usage lists: each memory-controller
@@ -112,34 +149,83 @@ let build_socket_mems topo =
     sockets;
   arr
 
+(* Faults degrade both directions alike; [dir] is kept for interface
+   symmetry with the per-direction telemetry. *)
+let effective_capacity t link_id _dir =
+  let link = T.Topology.link t.topo link_id in
+  let f = Fault.get t.faults link_id in
+  link.T.Link.capacity *. f.Fault.capacity_factor
+
+let refresh_link_caps t link_id =
+  let c = effective_capacity t link_id T.Link.Fwd in
+  t.caps.(res_of link_id T.Link.Fwd) <- c;
+  t.caps.(res_of link_id T.Link.Rev) <- c
+
+let refresh_all_caps t =
+  List.iter (fun (l : T.Link.t) -> refresh_link_caps t l.T.Link.id) (T.Topology.links t.topo)
+
 let create ?(seed = 42) sim topo =
   let nr = nresources topo in
   let socket_mems = build_socket_mems topo in
   let ns = Array.length socket_mems in
-  {
-    sim;
-    topo;
-    rng = U.Rng.create seed;
-    faults = Fault.create ();
-    cache = Cache.create (T.Topology.config topo).T.Hostconfig.ddio;
-    entries = [];
-    next_flow_id = 0;
-    epoch = 0;
-    last_update = Sim.now sim;
-    load = Array.make nr 0.0;
-    flows_on = Array.make nr 0;
-    ddio_write = Array.make (max 1 ns) 0.0;
-    ddio_hit = Array.make (max 1 ns) 1.0;
-    spill_wb = Array.make (max 1 ns) 0.0;
-    spill_rr = Array.make (max 1 ns) 0.0;
+  let cache = Cache.create (T.Topology.config topo).T.Hostconfig.ddio in
+  let socket_of_res = Array.make (nr + ns) (-1) in
+  Array.iteri
+    (fun s sm ->
+      match sm with
+      | None -> ()
+      | Some sm ->
+        socket_of_res.(nr + s) <- s;
+        List.iter (fun (r, _) -> socket_of_res.(r) <- s) sm.to_mem;
+        List.iter (fun (r, _) -> socket_of_res.(r) <- s) sm.from_mem)
     socket_mems;
-    link_bytes = Array.make nr 0.0;
-    tenant_bytes_tbl = Hashtbl.create 64;
-    cls_bytes_tbl = Hashtbl.create 16;
-    allocs = 0;
-    in_batch = false;
-    listeners = [];
-  }
+  let induced_trow = Array.make nr 0.0 in
+  let tenant_rows = Hashtbl.create 64 in
+  Hashtbl.add tenant_rows 0 induced_trow;
+  let t =
+    {
+      sim;
+      topo;
+      rng = U.Rng.create seed;
+      faults = Fault.create ();
+      cache;
+      entries = Hashtbl.create 256;
+      next_flow_id = 0;
+      epoch = 0;
+      last_update = Sim.now sim;
+      load = Array.make nr 0.0;
+      flows_on = Array.make nr 0;
+      ddio_write = Array.make (max 1 ns) 0.0;
+      ddio_hit = Array.make (max 1 ns) (if Cache.enabled cache then 1.0 else 0.0);
+      spill_wb = Array.make (max 1 ns) 0.0;
+      spill_rr = Array.make (max 1 ns) 0.0;
+      socket_mems;
+      link_bytes = Array.make nr 0.0;
+      tenant_rows;
+      cls_rows = Array.init cls_count (fun _ -> Array.make nr 0.0);
+      induced_trow;
+      allocs = 0;
+      in_batch = false;
+      listeners = [];
+      nr;
+      res_entries = Array.make (nr + ns) [];
+      socket_of_res;
+      caps = Array.make nr 0.0;
+      comp_gen = 0;
+      res_mark = Array.make (nr + ns) 0;
+      socket_mark = Array.make (max 1 ns) 0;
+      comp_entries = U.Vec.create ();
+      comp_res = U.Vec.create ();
+      comp_sockets = U.Vec.create ();
+      fx_wb = Array.make (max 1 ns) 0.0;
+      fx_rr = Array.make (max 1 ns) 0.0;
+      fx_write = Array.make (max 1 ns) 0.0;
+      fx_hit = Array.make (max 1 ns) 1.0;
+      cheap = U.Heap.create ();
+    }
+  in
+  refresh_all_caps t;
+  t
 
 let subscribe t f = t.listeners <- t.listeners @ [ f ]
 let emit t ev = List.iter (fun f -> f ev) t.listeners
@@ -149,36 +235,25 @@ let topology t = t.topo
 let rng t = t.rng
 let now t = Sim.now t.sim
 
-(* Faults degrade both directions alike; [dir] is kept for interface
-   symmetry with the per-direction telemetry. *)
-let effective_capacity t link_id _dir =
-  let link = T.Topology.link t.topo link_id in
-  let f = Fault.get t.faults link_id in
-  link.T.Link.capacity *. f.Fault.capacity_factor
+let tenant_row t tenant =
+  match Hashtbl.find_opt t.tenant_rows tenant with
+  | Some row -> row
+  | None ->
+    let row = Array.make t.nr 0.0 in
+    Hashtbl.add t.tenant_rows tenant row;
+    row
 
-let capacities t =
-  let nr = nresources t.topo in
-  Array.init nr (fun r ->
-      let link_id = r / 2 in
-      let dir = if r mod 2 = 0 then T.Link.Fwd else T.Link.Rev in
-      effective_capacity t link_id dir)
-
-(* Integrate flow progress and byte counters from last_update to now. *)
-let add_bytes t res tenant cls bytes =
-  t.link_bytes.(res) <- t.link_bytes.(res) +. bytes;
-  let bump tbl key =
-    Hashtbl.replace tbl key (bytes +. Option.value ~default:0.0 (Hashtbl.find_opt tbl key))
-  in
-  bump t.tenant_bytes_tbl (res, tenant);
-  bump t.cls_bytes_tbl (res, cls_index cls)
-
+(* Integrate flow progress and byte counters from last_update to now.
+   Byte accumulation is a single array store per (hop, counter): each
+   entry carries direct references to its tenant and class rows, so the
+   per-sync cost is three float bumps per hop with no table lookups. *)
 let sync t =
   let now = Sim.now t.sim in
   let dt = now -. t.last_update in
   if dt > 0.0 then begin
     let secs = dt /. 1e9 in
-    List.iter
-      (fun e ->
+    Hashtbl.iter
+      (fun _ e ->
         let f = e.flow in
         if f.Flow.state = Flow.Running && f.Flow.rate > 0.0 then begin
           let goodput = f.Flow.rate *. secs in
@@ -186,24 +261,30 @@ let sync t =
           if f.Flow.remaining <> infinity then
             f.Flow.remaining <- Float.max 0.0 (f.Flow.remaining -. goodput);
           List.iter
-            (fun (res, coeff) -> add_bytes t res f.Flow.tenant f.Flow.cls (f.Flow.rate *. coeff *. secs))
+            (fun (res, coeff) ->
+              let bytes = f.Flow.rate *. coeff *. secs in
+              t.link_bytes.(res) <- t.link_bytes.(res) +. bytes;
+              e.trow.(res) <- e.trow.(res) +. bytes;
+              e.crow.(res) <- e.crow.(res) +. bytes)
             e.usage
         end)
       t.entries;
-    (* induced DDIO traffic *)
+    (* induced DDIO traffic: infrastructure tenant 0, class Induced *)
+    let irow = t.induced_trow and icls = t.cls_rows.(cls_index Flow.Induced) in
+    let add_induced res bytes =
+      t.link_bytes.(res) <- t.link_bytes.(res) +. bytes;
+      irow.(res) <- irow.(res) +. bytes;
+      icls.(res) <- icls.(res) +. bytes
+    in
     Array.iteri
       (fun s sm ->
         match sm with
         | None -> ()
         | Some sm ->
           if t.spill_wb.(s) > 0.0 then
-            List.iter
-              (fun (res, coeff) -> add_bytes t res 0 Flow.Induced (t.spill_wb.(s) *. coeff *. secs))
-              sm.to_mem;
+            List.iter (fun (res, coeff) -> add_induced res (t.spill_wb.(s) *. coeff *. secs)) sm.to_mem;
           if t.spill_rr.(s) > 0.0 then
-            List.iter
-              (fun (res, coeff) -> add_bytes t res 0 Flow.Induced (t.spill_rr.(s) *. coeff *. secs))
-              sm.from_mem)
+            List.iter (fun (res, coeff) -> add_induced res (t.spill_rr.(s) *. coeff *. secs)) sm.from_mem)
       t.socket_mems;
     t.last_update <- now
   end
@@ -229,138 +310,253 @@ let demand_of_entry e : Fairshare.demand =
 let spill_demand rate usage : Fairshare.demand =
   { Fairshare.weight = 1.0; floor = 0.0; cap = rate; usage }
 
-exception Stale
+(* Connectivity footprint of a flow: its usage resources, widened for
+   LLC-targeted flows with the destination socket's virtual coupling
+   resource [nr + s] and the socket's memory links. *)
+let conn_of t (f : Flow.t) usage =
+  let base = List.map fst usage in
+  let full =
+    if not f.Flow.llc_target then base
+    else
+      match llc_socket t f with
+      | Some s when s >= 0 && s < Array.length t.socket_mems -> (
+        match t.socket_mems.(s) with
+        | Some sm ->
+          ((t.nr + s) :: base) @ List.map fst sm.to_mem @ List.map fst sm.from_mem
+        | None -> base)
+      | Some _ | None -> base
+  in
+  Array.of_list (List.sort_uniq compare full)
 
-(* Recompute all rates; resolve the DDIO spill fixed point by a short
-   damped iteration (spill depends on allocated write rates which depend
-   on memory-bus contention which includes spill). *)
-let rec reallocate t =
+let register t e =
+  Array.iter (fun r -> t.res_entries.(r) <- e :: t.res_entries.(r)) e.conn
+
+let unregister t e =
+  let id = e.flow.Flow.id in
+  Array.iter
+    (fun r ->
+      t.res_entries.(r) <- List.filter (fun e' -> e'.flow.Flow.id <> id) t.res_entries.(r))
+    e.conn
+
+let all_seeds t = Array.init (Array.length t.res_entries) Fun.id
+
+(* Collect into the scratch vectors the contention component reachable
+   from [seeds]: every entry transitively sharing a resource with the
+   seeds, every real resource the component touches, and every
+   DDIO-coupled socket. Marking a coupled socket pulls in all of its
+   memory-side resources, so spill accounting is recomputed whole. *)
+let collect_component t seeds =
+  t.comp_gen <- t.comp_gen + 1;
+  let gen = t.comp_gen in
+  U.Vec.clear t.comp_entries;
+  U.Vec.clear t.comp_res;
+  U.Vec.clear t.comp_sockets;
+  let stack = ref [] in
+  let rec mark_res r =
+    if t.res_mark.(r) <> gen then begin
+      t.res_mark.(r) <- gen;
+      if r < t.nr then U.Vec.push t.comp_res r;
+      stack := r :: !stack;
+      let s = t.socket_of_res.(r) in
+      if s >= 0 && t.socket_mark.(s) <> gen then begin
+        t.socket_mark.(s) <- gen;
+        U.Vec.push t.comp_sockets s;
+        match t.socket_mems.(s) with
+        | Some sm ->
+          mark_res (t.nr + s);
+          List.iter (fun (r', _) -> mark_res r') sm.to_mem;
+          List.iter (fun (r', _) -> mark_res r') sm.from_mem
+        | None -> ()
+      end
+    end
+  in
+  Array.iter mark_res seeds;
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | r :: rest ->
+      stack := rest;
+      List.iter
+        (fun e ->
+          if e.mark <> gen then begin
+            e.mark <- gen;
+            U.Vec.push t.comp_entries e;
+            Array.iter mark_res e.conn
+          end)
+        t.res_entries.(r)
+  done
+
+(* Recompute rates for the component(s) reachable from [seeds] only;
+   flows outside keep their rates, loads and completion events. The
+   DDIO spill fixed point is resolved per affected socket by the same
+   short damped iteration as before (spill depends on allocated write
+   rates which depend on memory-bus contention which includes spill). *)
+let rec reallocate t seeds =
   if t.in_batch then ()
-  else reallocate_now t
+  else reallocate_now t seeds
 
-and reallocate_now t =
+and reallocate_now t seeds =
   sync t;
   t.allocs <- t.allocs + 1;
   t.epoch <- t.epoch + 1;
-  let caps = capacities t in
-  let nr = Array.length caps in
-  let active = List.filter (fun e -> e.flow.Flow.state = Flow.Running) t.entries in
-  t.entries <- active;
-  let entries = Array.of_list (List.rev active) in
-  let n = Array.length entries in
+  collect_component t seeds;
+  let nc = U.Vec.length t.comp_entries in
   let ns = Array.length t.socket_mems in
   let ddio_on = Cache.enabled t.cache in
-  let wb = Array.make (max 1 ns) 0.0 and rr = Array.make (max 1 ns) 0.0 in
-  let write = Array.make (max 1 ns) 0.0 and hit = Array.make (max 1 ns) 1.0 in
-  let rates = ref (Array.make n 0.0) in
+  let wb = t.fx_wb and rr = t.fx_rr and write = t.fx_write and hit = t.fx_hit in
+  U.Vec.iter
+    (fun s ->
+      wb.(s) <- 0.0;
+      rr.(s) <- 0.0;
+      write.(s) <- 0.0;
+      hit.(s) <- (if ddio_on then 1.0 else 0.0))
+    t.comp_sockets;
+  let base = Array.init nc (fun i -> (U.Vec.get t.comp_entries i).dem) in
+  let rates = ref (Array.make nc 0.0) in
   (* the spill fixed point only matters when LLC-targeted flows exist *)
-  let any_llc = Array.exists (fun e -> e.flow.Flow.llc_target) entries in
-  let iterations = if ns > 0 && any_llc then 4 else 1 in
+  let any_llc = U.Vec.exists (fun e -> e.flow.Flow.llc_target) t.comp_entries in
+  let iterations = if U.Vec.length t.comp_sockets > 0 && any_llc then 4 else 1 in
   for _iter = 1 to iterations do
     let spills = ref [] in
-    Array.iteri
-      (fun s sm ->
-        match sm with
+    U.Vec.iter
+      (fun s ->
+        match t.socket_mems.(s) with
         | None -> ()
         | Some sm ->
           if wb.(s) > 0.0 then spills := spill_demand wb.(s) sm.to_mem :: !spills;
           if rr.(s) > 0.0 then spills := spill_demand rr.(s) sm.from_mem :: !spills)
-      t.socket_mems;
-    let demands =
-      Array.append (Array.map demand_of_entry entries) (Array.of_list !spills)
-    in
-    let all = Fairshare.allocate ~capacities:caps demands in
-    rates := Array.sub all 0 n;
+      t.comp_sockets;
+    let demands = Array.append base (Array.of_list !spills) in
+    let all = Fairshare.allocate ~capacities:t.caps demands in
+    rates := Array.sub all 0 nc;
     (* recompute spill targets from the allocated LLC write rates *)
-    Array.fill write 0 (Array.length write) 0.0;
-    Array.iteri
+    U.Vec.iter (fun s -> write.(s) <- 0.0) t.comp_sockets;
+    U.Vec.iteri
       (fun i e ->
         if e.flow.Flow.llc_target then
           match llc_socket t e.flow with
           | Some s when s >= 0 && s < ns -> write.(s) <- write.(s) +. !rates.(i)
           | Some _ | None -> ())
-      entries;
-    for s = 0 to ns - 1 do
-      let h = Cache.hit_rate t.cache ~write_rate:write.(s) in
-      hit.(s) <- (if ddio_on then h else 0.0);
-      let target_wb, target_rr =
-        if write.(s) <= 0.0 then (0.0, 0.0)
-        else if ddio_on then ((1.0 -. h) *. write.(s), (1.0 -. h) *. write.(s))
-        else (write.(s), 0.0)
-      in
-      wb.(s) <- (wb.(s) +. target_wb) /. 2.0;
-      rr.(s) <- (rr.(s) +. target_rr) /. 2.0
-    done
+      t.comp_entries;
+    U.Vec.iter
+      (fun s ->
+        let h = Cache.hit_rate t.cache ~write_rate:write.(s) in
+        hit.(s) <- (if ddio_on then h else 0.0);
+        let target_wb, target_rr =
+          if write.(s) <= 0.0 then (0.0, 0.0)
+          else if ddio_on then ((1.0 -. h) *. write.(s), (1.0 -. h) *. write.(s))
+          else (write.(s), 0.0)
+        in
+        wb.(s) <- (wb.(s) +. target_wb) /. 2.0;
+        rr.(s) <- (rr.(s) +. target_rr) /. 2.0)
+      t.comp_sockets
   done;
-  (* commit rates *)
-  Array.iteri (fun i e -> e.flow.Flow.rate <- !rates.(i)) entries;
-  t.ddio_write <- write;
-  t.ddio_hit <- hit;
-  t.spill_wb <- wb;
-  t.spill_rr <- rr;
-  (* recompute loads and per-resource flow counts *)
-  let load = Array.make nr 0.0 and fon = Array.make nr 0 in
-  Array.iter
+  (* commit rates and (re)key completion events for the component *)
+  let tnow = Sim.now t.sim in
+  U.Vec.iteri
+    (fun i e ->
+      let f = e.flow in
+      f.Flow.rate <- !rates.(i);
+      e.hstamp <- e.hstamp + 1;
+      if f.Flow.state = Flow.Running && f.Flow.remaining <> infinity && f.Flow.rate > 0.0 then
+        U.Heap.push t.cheap (tnow +. Flow.eta_ns f) (e, e.hstamp))
+    t.comp_entries;
+  U.Vec.iter
+    (fun s ->
+      t.ddio_write.(s) <- write.(s);
+      t.ddio_hit.(s) <- hit.(s);
+      t.spill_wb.(s) <- wb.(s);
+      t.spill_rr.(s) <- rr.(s))
+    t.comp_sockets;
+  (* recompute loads and per-resource flow counts, component-local *)
+  U.Vec.iter
+    (fun r ->
+      t.load.(r) <- 0.0;
+      t.flows_on.(r) <- 0)
+    t.comp_res;
+  U.Vec.iter
     (fun e ->
       List.iter
         (fun (res, coeff) ->
-          load.(res) <- load.(res) +. (e.flow.Flow.rate *. coeff);
-          fon.(res) <- fon.(res) + 1)
+          t.load.(res) <- t.load.(res) +. (e.flow.Flow.rate *. coeff);
+          t.flows_on.(res) <- t.flows_on.(res) + 1)
         e.usage)
-    entries;
-  Array.iteri
-    (fun s sm ->
-      match sm with
+    t.comp_entries;
+  U.Vec.iter
+    (fun s ->
+      match t.socket_mems.(s) with
       | None -> ()
       | Some sm ->
-        List.iter (fun (res, c) -> load.(res) <- load.(res) +. (wb.(s) *. c)) sm.to_mem;
-        List.iter (fun (res, c) -> load.(res) <- load.(res) +. (rr.(s) *. c)) sm.from_mem)
-    t.socket_mems;
-  t.load <- load;
-  t.flows_on <- fon;
+        List.iter (fun (res, c) -> t.load.(res) <- t.load.(res) +. (wb.(s) *. c)) sm.to_mem;
+        List.iter (fun (res, c) -> t.load.(res) <- t.load.(res) +. (rr.(s) *. c)) sm.from_mem)
+    t.comp_sockets;
   schedule_next_completion t
 
 and schedule_next_completion t =
-  let next =
-    List.fold_left
-      (fun acc e ->
-        let f = e.flow in
-        if f.Flow.state = Flow.Running && f.Flow.remaining <> infinity && f.Flow.rate > 0.0
-        then Float.min acc (f.Flow.remaining /. f.Flow.rate *. 1e9)
-        else acc)
-      infinity t.entries
-  in
-  if next < infinity then begin
+  U.Heap.drop_while t.cheap (fun (e, stamp) ->
+      stamp <> e.hstamp || e.flow.Flow.state <> Flow.Running);
+  (* lazy deletion can leave stale entries below the top; compact when
+     they dominate so the heap stays proportional to the live flows *)
+  if U.Heap.size t.cheap > 64 + (4 * Hashtbl.length t.entries) then begin
+    let live = ref [] in
+    let rec drain () =
+      match U.Heap.pop t.cheap with
+      | None -> ()
+      | Some (at, ((e, stamp) as v)) ->
+        if stamp = e.hstamp && e.flow.Flow.state = Flow.Running then live := (at, v) :: !live;
+        drain ()
+    in
+    drain ();
+    List.iter (fun (at, v) -> U.Heap.push t.cheap at v) !live
+  end;
+  match U.Heap.peek t.cheap with
+  | None -> ()
+  | Some (at, _) ->
     let epoch = t.epoch in
-    Sim.schedule t.sim ~after:next (fun _ ->
-        match if epoch <> t.epoch then raise_notrace Stale with
-        | () -> handle_completions t
-        | exception Stale -> ())
-  end
+    Sim.schedule t.sim
+      ~after:(Float.max 0.0 (at -. Sim.now t.sim))
+      (fun _ -> if epoch = t.epoch then handle_completions t)
 
 and handle_completions t =
   sync t;
-  let completed, rest =
-    List.partition
-      (fun e -> e.flow.Flow.state = Flow.Running && e.flow.Flow.remaining <= 1.0)
-      t.entries
-  in
-  t.entries <- rest;
-  List.iter
-    (fun e ->
+  let tnow = Sim.now t.sim in
+  let completed = ref [] in
+  let continue = ref true in
+  while !continue do
+    U.Heap.drop_while t.cheap (fun (e, stamp) ->
+        stamp <> e.hstamp || e.flow.Flow.state <> Flow.Running);
+    match U.Heap.peek t.cheap with
+    | Some (_, (e, _)) when e.flow.Flow.remaining <= 1.0 ->
+      ignore (U.Heap.pop t.cheap);
+      e.hstamp <- e.hstamp + 1;
       let f = e.flow in
       f.Flow.state <- Flow.Completed;
       f.Flow.remaining <- 0.0;
-      f.Flow.completed_at <- Sim.now t.sim;
-      f.Flow.rate <- 0.0)
-    completed;
-  reallocate t;
-  (* callbacks run after reallocation so they observe a consistent fabric *)
-  List.iter
-    (fun e ->
-      emit t (Flow_completed e.flow);
-      match e.flow.Flow.on_complete with Some cb -> cb e.flow | None -> ())
-    completed
+      f.Flow.completed_at <- tnow;
+      f.Flow.rate <- 0.0;
+      Hashtbl.remove t.entries f.Flow.id;
+      unregister t e;
+      completed := e :: !completed
+    | Some (at, (e, stamp)) when at <= tnow ->
+      (* fired marginally early (float rounding): re-key to the fresh
+         remaining/rate estimate and keep draining *)
+      ignore (U.Heap.pop t.cheap);
+      let f = e.flow in
+      if f.Flow.rate > 0.0 && f.Flow.remaining <> infinity then
+        U.Heap.push t.cheap (tnow +. Flow.eta_ns f) (e, stamp)
+    | _ -> continue := false
+  done;
+  match !completed with
+  | [] -> schedule_next_completion t
+  | completed ->
+    reallocate t (Array.concat (List.map (fun e -> e.conn) completed));
+    (* callbacks run after reallocation so they observe a consistent fabric *)
+    List.iter
+      (fun e ->
+        emit t (Flow_completed e.flow);
+        match e.flow.Flow.on_complete with Some cb -> cb e.flow | None -> ())
+      completed
 
 (* Capacity-consumption coefficient of a flow on one hop. *)
 let hop_coeff t ~payload_bytes ~working_set_pages (hop : T.Path.hop) =
@@ -431,8 +627,21 @@ let start_flow t ~tenant ?(cls = Flow.Payload) ?(weight = 1.0) ?(floor = 0.0) ?(
   in
   t.next_flow_id <- t.next_flow_id + 1;
   let usage = usage_of_path t ~payload_bytes ~working_set_pages path in
-  t.entries <- { flow; usage } :: t.entries;
-  reallocate t;
+  let entry =
+    {
+      flow;
+      usage;
+      conn = conn_of t flow usage;
+      dem = { Fairshare.weight; floor; cap = Flow.effective_demand flow; usage };
+      trow = tenant_row t tenant;
+      crow = t.cls_rows.(cls_index cls);
+      mark = 0;
+      hstamp = 0;
+    }
+  in
+  Hashtbl.replace t.entries flow.Flow.id entry;
+  register t entry;
+  reallocate t entry.conn;
   emit t (Flow_started flow);
   flow
 
@@ -441,8 +650,13 @@ let stop_flow t (f : Flow.t) =
     sync t;
     f.Flow.state <- Flow.Stopped;
     f.Flow.rate <- 0.0;
-    t.entries <- List.filter (fun e -> e.flow.Flow.id <> f.Flow.id) t.entries;
-    reallocate t;
+    (match Hashtbl.find_opt t.entries f.Flow.id with
+    | Some e ->
+      e.hstamp <- e.hstamp + 1;
+      Hashtbl.remove t.entries f.Flow.id;
+      unregister t e;
+      reallocate t e.conn
+    | None -> ());
     emit t (Flow_stopped f)
   end
 
@@ -450,10 +664,18 @@ let set_flow_limits t (f : Flow.t) ?weight ?floor ?cap () =
   Option.iter (fun w -> if w <= 0.0 then invalid_arg "set_flow_limits: weight" else f.Flow.weight <- w) weight;
   Option.iter (fun x -> if x < 0.0 then invalid_arg "set_flow_limits: floor" else f.Flow.floor <- x) floor;
   Option.iter (fun x -> if x < 0.0 then invalid_arg "set_flow_limits: cap" else f.Flow.cap <- x) cap;
-  if f.Flow.state = Flow.Running then reallocate t
+  if f.Flow.state = Flow.Running then
+    match Hashtbl.find_opt t.entries f.Flow.id with
+    | Some e ->
+      e.dem <- demand_of_entry e;
+      reallocate t e.conn
+    | None -> reallocate t (all_seeds t)
 
-let active_flows t = List.rev_map (fun e -> e.flow) t.entries
-let flow_count t = List.length t.entries
+let active_flows t =
+  Hashtbl.fold (fun _ e acc -> e.flow :: acc) t.entries []
+  |> List.sort (fun (a : Flow.t) b -> compare a.Flow.id b.Flow.id)
+
+let flow_count t = Hashtbl.length t.entries
 let refresh t = sync t
 
 let batch t f =
@@ -463,18 +685,22 @@ let batch t f =
     Fun.protect
       ~finally:(fun () ->
         t.in_batch <- false;
-        reallocate t)
+        reallocate t (all_seeds t))
       f
   end
 
 let transfer_time t ~path ~bytes =
   let usage = usage_of_path t ~payload_bytes:(T.Topology.config t.topo).T.Hostconfig.pcie_mps ~working_set_pages:32 path in
-  let caps = capacities t in
-  let existing = List.rev_map demand_of_entry t.entries in
+  (* the probe only contends with its own component; everything else
+     is resource-disjoint and cannot shift its allocation *)
+  collect_component t (Array.of_list (List.map fst usage));
+  let nc = U.Vec.length t.comp_entries in
   let probe = { Fairshare.weight = 1.0; floor = 0.0; cap = infinity; usage } in
-  let demands = Array.of_list (existing @ [ probe ]) in
-  let rates = Fairshare.allocate ~capacities:caps demands in
-  let rate = rates.(Array.length rates - 1) in
+  let demands =
+    Array.init (nc + 1) (fun i -> if i < nc then (U.Vec.get t.comp_entries i).dem else probe)
+  in
+  let rates = Fairshare.allocate ~capacities:t.caps demands in
+  let rate = rates.(nc) in
   if rate <= 0.0 then None else Some (bytes /. rate *. 1e9)
 
 let link_rate t link_id dir = t.load.(res_of link_id dir)
@@ -490,17 +716,19 @@ let link_bytes t link_id dir =
 
 let tenant_link_bytes t link_id dir ~tenant =
   sync t;
-  Option.value ~default:0.0 (Hashtbl.find_opt t.tenant_bytes_tbl (res_of link_id dir, tenant))
+  match Hashtbl.find_opt t.tenant_rows tenant with
+  | Some row -> row.(res_of link_id dir)
+  | None -> 0.0
 
 let cls_link_bytes t link_id dir ~cls =
   sync t;
-  Option.value ~default:0.0 (Hashtbl.find_opt t.cls_bytes_tbl (res_of link_id dir, cls_index cls))
+  t.cls_rows.(cls_index cls).(res_of link_id dir)
 
 let tenant_bytes t ~tenant =
   sync t;
-  Hashtbl.fold
-    (fun (_, tn) b acc -> if tn = tenant then acc +. b else acc)
-    t.tenant_bytes_tbl 0.0
+  match Hashtbl.find_opt t.tenant_rows tenant with
+  | Some row -> Array.fold_left ( +. ) 0.0 row
+  | None -> 0.0
 
 let crosses_root_complex t (path : T.Path.t) =
   List.exists
@@ -613,19 +841,24 @@ let ddio_spill_rate t ~socket =
     t.spill_wb.(socket) +. t.spill_rr.(socket)
   else 0.0
 
+let fault_seeds link_id = [| res_of link_id T.Link.Fwd; res_of link_id T.Link.Rev |]
+
 let inject_fault t link_id fault =
   Fault.inject t.faults link_id fault;
-  reallocate t;
+  refresh_link_caps t link_id;
+  reallocate t (fault_seeds link_id);
   emit t (Fault_injected (link_id, fault))
 
 let clear_fault t link_id =
   Fault.clear t.faults link_id;
-  reallocate t;
+  refresh_link_caps t link_id;
+  reallocate t (fault_seeds link_id);
   emit t (Fault_cleared link_id)
 
 let clear_all_faults t =
   Fault.clear_all t.faults;
-  reallocate t
+  refresh_all_caps t;
+  reallocate t (all_seeds t)
 
 let fault_of t link_id = Fault.get t.faults link_id
 
@@ -639,6 +872,7 @@ let revive_device t device = on_device_links t device (fun id -> clear_fault t i
 let set_config t config =
   T.Topology.set_config t.topo config;
   t.cache <- Cache.create config.T.Hostconfig.ddio;
-  reallocate t
+  refresh_all_caps t;
+  reallocate t (all_seeds t)
 
 let reallocations t = t.allocs

@@ -1,17 +1,26 @@
 (** The fabric runtime: topology + simulator + models, wired together.
 
     The fabric owns the set of active flows and, whenever that set (or
-    a limit, fault or configuration) changes, recomputes every flow's
-    rate with {!Fairshare} over the per-(link, direction) capacities.
-    Between changes, rates are constant and flow progress is integrated
-    lazily, so simulated time advances in O(events), not O(time).
+    a limit, fault or configuration) changes, recomputes flow rates
+    with {!Fairshare} over the per-(link, direction) capacities.
+    Reallocation is {e contention-scoped}: only the connected
+    component(s) of flows sharing a resource with the change are
+    recomputed — every other flow keeps its rate and its pending
+    completion event — so an event costs O(affected), not O(all flows)
+    (see "Reallocation cost model" in doc/MODEL.md). Between changes,
+    rates are constant and flow progress is integrated lazily, so
+    simulated time advances in O(events), not O(time). Completions are
+    scheduled from a min-heap of predicted completion times rather
+    than a scan over the flow table.
 
     DDIO coupling: flows marked [llc_target] terminate at their CPU
     socket; the per-socket {!Cache} model converts the aggregate DDIO
     write rate into induced memory-bus traffic (write-back + re-read on
     miss), which competes with explicit flows on the socket's memory
     links. The rate/spill fixed point is resolved by a short damped
-    iteration at each reallocation.
+    iteration at each reallocation; for contention scoping, every
+    [llc_target] flow on a socket is coupled into one component with
+    the socket's memory links.
 
     This module also exports the raw byte counters and utilizations
     that the monitoring layer samples — deliberately: the fabric is

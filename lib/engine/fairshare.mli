@@ -33,7 +33,19 @@ val allocate : capacities:float array -> demand array -> float array
     - the remaining capacity is filled max-min fairly in proportion to
       the weights.
 
-    Demands with an empty [usage] get their cap. *)
+    Demands with an empty [usage] get their cap.
+
+    Implementation: an event-driven sweep over the progressive-filling
+    front — next cap hits and next resource saturations live in one
+    min-heap, and each event touches only the demands incident to the
+    frozen resource. O((n + Σ|usage|) log n) rather than the
+    reference's O(n · (n + Σ|usage|)). *)
+
+val allocate_reference : capacities:float array -> demand array -> float array
+(** The original round-based progressive-filling implementation,
+    retained as the semantic oracle: [allocate] must agree with it to
+    within 1e-6 relative error on every input (enforced by a
+    differential property test). Do not use on hot paths. *)
 
 val max_min_fair : capacities:float array -> (int * float) list array -> float array
 (** Unweighted, floorless, capless convenience wrapper (weight 1,

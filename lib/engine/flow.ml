@@ -32,6 +32,10 @@ let cls_label = function
 
 let effective_demand t = Float.min t.demand t.cap
 
+let eta_ns t =
+  if t.rate <= 0.0 || t.remaining = infinity then infinity
+  else t.remaining /. t.rate *. 1e9
+
 let duration t =
   match t.state with
   | Completed -> t.completed_at -. t.started_at

@@ -50,6 +50,11 @@ val cls_label : cls -> string
 val effective_demand : t -> float
 (** [min demand cap] — the most the source may be given. *)
 
+val eta_ns : t -> float
+(** Nanoseconds until the flow drains at its current rate; [infinity]
+    when unbounded or stalled. The fabric keys its completion heap on
+    [now + eta_ns]. *)
+
 val duration : t -> Ihnet_util.Units.ns
 (** Completion time minus start time.
     @raise Invalid_argument if the flow has not completed. *)

@@ -1,75 +1,111 @@
-type 'a entry = { prio : float; seq : int; value : 'a }
+(* Parallel-array binary heap. Priorities live in a bare [float array]
+   (unboxed flat storage), so sift comparisons are direct loads instead
+   of pointer chases through boxed records — the heap is on the
+   simulator's and allocator's innermost paths. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable prios : float array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
   mutable len : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; len = 0; next_seq = 0 }
+let create () = { prios = [||]; seqs = [||]; vals = [||]; len = 0; next_seq = 0 }
 let is_empty t = t.len = 0
 let size t = t.len
 
-let lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+let lt t i j =
+  t.prios.(i) < t.prios.(j) || (t.prios.(i) = t.prios.(j) && t.seqs.(i) < t.seqs.(j))
 
-let grow t e =
-  let cap = Array.length t.data in
+let swap t i j =
+  let p = t.prios.(i) in
+  t.prios.(i) <- t.prios.(j);
+  t.prios.(j) <- p;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
+  let v = t.vals.(i) in
+  t.vals.(i) <- t.vals.(j);
+  t.vals.(j) <- v
+
+let grow t fill =
+  let cap = Array.length t.prios in
   if t.len = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let nd = Array.make ncap e in
-    Array.blit t.data 0 nd 0 t.len;
-    t.data <- nd
+    let np = Array.make ncap 0.0 in
+    let ns = Array.make ncap 0 in
+    let nv = Array.make ncap fill in
+    Array.blit t.prios 0 np 0 t.len;
+    Array.blit t.seqs 0 ns 0 t.len;
+    Array.blit t.vals 0 nv 0 t.len;
+    t.prios <- np;
+    t.seqs <- ns;
+    t.vals <- nv
   end
 
 let push t prio value =
-  let e = { prio; seq = t.next_seq; value } in
+  grow t value;
+  let n = t.len in
+  t.prios.(n) <- prio;
+  t.seqs.(n) <- t.next_seq;
+  t.vals.(n) <- value;
   t.next_seq <- t.next_seq + 1;
-  grow t e;
-  t.data.(t.len) <- e;
   t.len <- t.len + 1;
-  (* sift up *)
-  let i = ref (t.len - 1) in
-  while !i > 0 && lt t.data.(!i) t.data.((!i - 1) / 2) do
+  let i = ref n in
+  while !i > 0 && lt t !i ((!i - 1) / 2) do
     let p = (!i - 1) / 2 in
-    let tmp = t.data.(p) in
-    t.data.(p) <- t.data.(!i);
-    t.data.(!i) <- tmp;
+    swap t !i p;
     i := p
   done
 
-let peek t = if t.len = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
+let peek t = if t.len = 0 then None else Some (t.prios.(0), t.vals.(0))
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.data.(0) in
+    let prio = t.prios.(0) and value = t.vals.(0) in
     t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.data.(0) <- t.data.(t.len);
-      (* sift down *)
+    let n = t.len in
+    if n > 0 then begin
+      t.prios.(0) <- t.prios.(n);
+      t.seqs.(0) <- t.seqs.(n);
+      t.vals.(0) <- t.vals.(n);
       let i = ref 0 in
       let continue = ref true in
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < t.len && lt t.data.(l) t.data.(!smallest) then smallest := l;
-        if r < t.len && lt t.data.(r) t.data.(!smallest) then smallest := r;
+        if l < n && lt t l !smallest then smallest := l;
+        if r < n && lt t r !smallest then smallest := r;
         if !smallest <> !i then begin
-          let tmp = t.data.(!smallest) in
-          t.data.(!smallest) <- t.data.(!i);
-          t.data.(!i) <- tmp;
+          swap t !i !smallest;
           i := !smallest
         end
         else continue := false
       done
     end;
-    Some (top.prio, top.value)
+    Some (prio, value)
   end
 
 let clear t = t.len <- 0
 
+let rec drop_while t pred =
+  if t.len > 0 && pred t.vals.(0) then begin
+    ignore (pop t);
+    drop_while t pred
+  end
+
 let to_list t =
-  let copy = { data = Array.sub t.data 0 t.len; len = t.len; next_seq = t.next_seq } in
+  let copy =
+    {
+      prios = Array.sub t.prios 0 t.len;
+      seqs = Array.sub t.seqs 0 t.len;
+      vals = Array.sub t.vals 0 t.len;
+      len = t.len;
+      next_seq = t.next_seq;
+    }
+  in
   let rec drain acc =
     match pop copy with None -> List.rev acc | Some pv -> drain (pv :: acc)
   in

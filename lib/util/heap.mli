@@ -21,5 +21,10 @@ val pop : 'a t -> (float * 'a) option
 
 val clear : 'a t -> unit
 
+val drop_while : 'a t -> ('a -> bool) -> unit
+(** [drop_while h pred] pops entries while the minimum entry's value
+    satisfies [pred]. Supports lazy deletion: push a generation stamp
+    with each value and drop stale tops before peeking. *)
+
 val to_list : 'a t -> (float * 'a) list
 (** All entries in pop order (non-destructive; O(n log n)). Testing aid. *)

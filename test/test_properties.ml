@@ -53,6 +53,50 @@ let fairshare_props =
         let rates = E.Fairshare.allocate ~capacities:[| 100.0 |] demands in
         Float.abs (rates.(0) -. cap_v) < 1e-6
         && Float.abs (rates.(1) -. (100.0 -. cap_v)) < 1e-4);
+    (* Differential oracle: the event-driven allocate must reproduce the
+       round-based reference on arbitrary inputs — random resource
+       pools, weights, floors (including jointly infeasible ones), caps
+       and overlapping multi-resource usages. *)
+    (let gen_case =
+       QCheck.Gen.(
+         int_range 1 8 >>= fun nr ->
+         array_size (return nr) (float_range 5.0 500.0) >>= fun caps ->
+         let gen_demand =
+           float_range 0.1 8.0 >>= fun weight ->
+           float_range 0.0 20.0 >>= fun floor ->
+           oneof [ return infinity; float_range 0.1 50.0 ] >>= fun cap ->
+           list_size (int_range 1 5)
+             (pair (int_range 0 (nr - 1)) (float_range 0.5 2.0))
+           >>= fun usage ->
+           let usage = List.sort_uniq (fun (a, _) (b, _) -> compare a b) usage in
+           return { E.Fairshare.weight; floor; cap; usage }
+         in
+         array_size (int_range 1 40) gen_demand >>= fun demands -> return (caps, demands))
+     in
+     let print (caps, demands) =
+       let b = Buffer.create 256 in
+       Buffer.add_string b "caps=[";
+       Array.iter (fun c -> Buffer.add_string b (Printf.sprintf "%g;" c)) caps;
+       Buffer.add_string b "] demands=[";
+       Array.iter
+         (fun (d : E.Fairshare.demand) ->
+           Buffer.add_string b
+             (Printf.sprintf "{w=%g f=%g c=%g u=[%s]};" d.weight d.floor d.cap
+                (String.concat ";"
+                   (List.map (fun (r, co) -> Printf.sprintf "%d:%g" r co) d.usage))))
+         demands;
+       Buffer.add_string b "]";
+       Buffer.contents b
+     in
+     prop "event-driven allocate matches the reference oracle" ~count:1000
+       (QCheck.make ~print gen_case)
+       (fun (caps, demands) ->
+         let fast = E.Fairshare.allocate ~capacities:caps demands in
+         let oracle = E.Fairshare.allocate_reference ~capacities:caps demands in
+         Array.for_all2
+           (fun a b ->
+             Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)))
+           fast oracle));
   ]
 
 (* {1 Routing optimality} *)

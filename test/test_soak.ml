@@ -140,4 +140,91 @@ let soak_tests =
         Alcotest.(check int) "no leaked payload flows" 0 (List.length leftover));
   ]
 
-let suites = [ ("soak", soak_tests) ]
+(* High-churn soak: ~10k flow starts/stops against a dgx-like host,
+   stressing the incremental (component-scoped) reallocation path: local
+   GPU->NIC flows keep components disjoint, cross-switch flows weld them
+   together, and LLC-targeted flows drag the DDIO coupling and the
+   memory links into the mix. Completions drain through the completion
+   heap while the sim advances. Invariants checked at every
+   checkpoint: per-link conservation (Σ rates ≤ effective capacity) and
+   the one protected flow's floor. *)
+
+let high_churn () =
+  let topo = T.Builder.dgx_like () in
+  let sim = E.Sim.create () in
+  let fab = E.Fabric.create ~seed:7 sim topo in
+  let rng = U.Rng.create 9 in
+  let dev n = (Option.get (T.Topology.device_by_name topo n)).T.Device.id in
+  let path a b = Option.get (T.Routing.shortest_path topo (dev a) (dev b)) in
+  let local =
+    Array.init 8 (fun i -> path (Printf.sprintf "gpu%d" i) (Printf.sprintf "nic%d" i))
+  in
+  let cross =
+    Array.init 8 (fun i -> path (Printf.sprintf "gpu%d" i) (Printf.sprintf "nic%d" ((i + 5) mod 8)))
+  in
+  let llc =
+    Array.init 8 (fun i -> path (Printf.sprintf "gpu%d" i) (Printf.sprintf "socket%d" (i / 4)))
+  in
+  let floor = U.Units.gbps 2.0 in
+  let protected_flow =
+    E.Fabric.start_flow fab ~tenant:1 ~floor ~path:local.(0) ~size:E.Flow.Unbounded ()
+  in
+  let completed = ref 0 in
+  let live = Queue.create () in
+  let violations = ref 0 in
+  let check () =
+    List.iter
+      (fun (l : T.Link.t) ->
+        List.iter
+          (fun dir ->
+            let rate = E.Fabric.link_rate fab l.T.Link.id dir in
+            let cap = E.Fabric.effective_capacity fab l.T.Link.id dir in
+            if rate > (cap *. 1.001) +. 1.0 then incr violations)
+          [ T.Link.Fwd; T.Link.Rev ])
+      (T.Topology.links topo);
+    if protected_flow.E.Flow.rate < floor *. 0.999 then incr violations
+  in
+  let n_ops = 10_000 in
+  for i = 1 to n_ops do
+    let r = U.Rng.int rng 100 in
+    let p =
+      if r < 70 then local.(U.Rng.int rng 8)
+      else if r < 90 then cross.(U.Rng.int rng 8)
+      else llc.(U.Rng.int rng 8)
+    in
+    let size =
+      if U.Rng.int rng 4 = 0 then E.Flow.Unbounded
+      else E.Flow.Bytes (U.Rng.uniform rng 1e5 2e6)
+    in
+    let f =
+      E.Fabric.start_flow fab
+        ~tenant:(2 + (i mod 15))
+        ~weight:(1.0 +. float_of_int (i mod 4))
+        ~llc_target:(r >= 90)
+        ~on_complete:(fun _ -> incr completed)
+        ~path:p ~size ()
+    in
+    Queue.push f live;
+    if Queue.length live > 192 then E.Fabric.stop_flow fab (Queue.pop live);
+    if i mod 16 = 0 then E.Sim.run ~until:(E.Sim.now sim +. U.Units.us 50.0) sim;
+    if i mod 500 = 0 then check ()
+  done;
+  Queue.iter (fun f -> E.Fabric.stop_flow fab f) live;
+  E.Sim.run ~until:(E.Sim.now sim +. U.Units.ms 5.0) sim;
+  check ();
+  (fab, protected_flow, !violations, !completed)
+
+let high_churn_tests =
+  [
+    tc "10k-flow churn on a dgx keeps conservation and floors" (fun () ->
+        let fab, protected_flow, violations, completed = high_churn () in
+        Alcotest.(check int) "no conservation or floor violations" 0 violations;
+        Alcotest.(check bool) "completions drained through the heap" true (completed > 100);
+        Alcotest.(check bool) "reallocations happened" true (E.Fabric.reallocations fab > 10_000);
+        (* everything stopped or completed except the protected flow *)
+        Alcotest.(check int) "only the protected flow is left" 1 (E.Fabric.flow_count fab);
+        E.Fabric.stop_flow fab protected_flow;
+        Alcotest.(check int) "teardown drains" 0 (E.Fabric.flow_count fab));
+  ]
+
+let suites = [ ("soak", soak_tests); ("soak.churn", high_churn_tests) ]
