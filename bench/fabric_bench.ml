@@ -25,6 +25,7 @@
 
 module E = Ihnet_engine
 module T = Ihnet_topology
+module M = Ihnet_manager
 
 let usage () =
   prerr_endline "usage: fabric_bench [--smoke] [-o FILE]";
@@ -127,6 +128,77 @@ let bench_churn ~nic_of n =
 let bench_churn_local = bench_churn ~nic_of:Fun.id
 let bench_churn_coupled = bench_churn ~nic_of:(fun i -> (i + 3) mod 8)
 
+(* {1 remediation-idle: the supervisor must be free when nothing is
+   broken}
+
+   A managed two-socket host with guaranteed pipes and live flows runs
+   50 simulated ms twice — without and with the remediation loop — and
+   no fault is ever injected. The loop must take zero actions and leave
+   the fabric's reallocation count and the arbiter's decision count
+   exactly unchanged (deterministic, not a timing judgement; it holds
+   in --smoke too). The reported rate is then simulated-ms/sec with the
+   idle supervisor ticking. *)
+
+let make_managed_host () =
+  let topo = T.Builder.two_socket_server () in
+  let sim = E.Sim.create () in
+  let fab = E.Fabric.create sim topo in
+  let mgr = M.Manager.create fab () in
+  List.iter
+    (fun intent ->
+      match M.Manager.submit mgr intent with
+      | Ok ps ->
+        List.iter
+          (fun (p : M.Placement.t) ->
+            let f =
+              E.Fabric.start_flow fab ~tenant:p.M.Placement.tenant
+                ~demand:p.M.Placement.rate ~path:p.M.Placement.path ~size:E.Flow.Unbounded ()
+            in
+            ignore (M.Manager.attach mgr f))
+          ps
+      | Error e -> failwith ("fabric_bench: admission refused: " ^ e))
+    [
+      M.Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:8e9;
+      M.Intent.pipe ~tenant:2 ~src:"gpu0" ~dst:"socket0" ~rate:4e9;
+      M.Intent.pipe ~tenant:3 ~src:"ext" ~dst:"socket1" ~rate:6e9;
+    ];
+  M.Manager.start_shim mgr ~period:5e4;
+  (sim, fab, mgr)
+
+let bench_remediation_idle () =
+  let measure ~remediate =
+    let sim, fab, mgr = make_managed_host () in
+    let rem =
+      if remediate then begin
+        let r = M.Remediation.create mgr in
+        M.Remediation.start r;
+        Some r
+      end
+      else None
+    in
+    E.Sim.run ~until:50e6 sim;
+    ((E.Fabric.reallocations fab, M.Manager.decisions mgr), rem, sim)
+  in
+  let baseline, _, _ = measure ~remediate:false in
+  let supervised, rem, sim = measure ~remediate:true in
+  (match rem with
+  | Some r when M.Remediation.actions_count r > 0 ->
+    failwith
+      (Printf.sprintf "remediation-idle: %d action(s) taken with no fault injected"
+         (M.Remediation.actions_count r))
+  | _ -> ());
+  if supervised <> baseline then
+    failwith
+      (Printf.sprintf
+         "remediation-idle: fault-free overhead detected — %d reallocations/%d decisions \
+          without the loop, %d/%d with it"
+         (fst baseline) (snd baseline) (fst supervised) (snd supervised));
+  (* rate: simulated ms advanced per wall second with the loop idle *)
+  let t = ref (E.Sim.now sim) in
+  time_ops (fun () ->
+      t := !t +. 1e6;
+      E.Sim.run ~until:!t sim)
+
 let () =
   let subjects =
     [
@@ -136,6 +208,7 @@ let () =
       ("flow-churn-256", fun () -> bench_churn_local 256);
       ("flow-churn-4096", fun () -> bench_churn_local 4096);
       ("flow-churn-coupled-4096", fun () -> bench_churn_coupled 4096);
+      ("remediation-idle", bench_remediation_idle);
     ]
   in
   let results =

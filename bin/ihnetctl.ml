@@ -321,6 +321,120 @@ let heartbeat_cmd =
     (Cmd.info "heartbeat" ~doc:"Run the heartbeat mesh; optionally inject a silent fault.")
     Term.(const run $ host_term $ degrade)
 
+let heal_cmd =
+  let gbps =
+    Arg.(value & opt float 80.0 & info [ "gbps" ] ~docv:"GBPS" ~doc:"Victim pipe guarantee.")
+  in
+  let fault_link =
+    Arg.(
+      value
+      & opt (some (pair ~sep:':' string string)) None
+      & info [ "fault" ] ~docv:"DEVA:DEVB"
+          ~doc:"Link to degrade (default: the second hop of the victim's placed path).")
+  in
+  let factor =
+    Arg.(
+      value
+      & opt float 0.05
+      & info [ "factor" ] ~docv:"F" ~doc:"Fault capacity factor (0 = link down).")
+  in
+  let silent =
+    Arg.(
+      value & flag
+      & info [ "silent" ]
+          ~doc:"Treat the fault as silent: ignore the fabric announcement and rely on heartbeat \
+                localization to open the case.")
+  in
+  let flap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "flap" ] ~docv:"N" ~doc:"Toggle the fault N times at 1 ms period instead of \
+                                        injecting it once (exercises flap damping).")
+  in
+  let ms =
+    Arg.(value & opt float 20.0 & info [ "ms" ] ~docv:"MS" ~doc:"Milliseconds to let the loop run.")
+  in
+  let run host src dst gbps fault_link factor silent flap ms =
+    let fab = Ihnet.Host.fabric host in
+    let topo = Ihnet.Host.topology host in
+    let mgr = Ihnet.Host.enable_manager host () in
+    let rate = U.Units.gbps gbps in
+    let p =
+      match R.Manager.submit mgr (R.Intent.pipe ~tenant:1 ~src ~dst ~rate) with
+      | Ok [ p ] -> p
+      | Ok _ -> failwith "expected one placement"
+      | Error e -> failwith ("intent rejected: " ^ e)
+    in
+    let f =
+      E.Fabric.start_flow fab ~tenant:1 ~demand:rate ~path:p.R.Placement.path
+        ~size:E.Flow.Unbounded ()
+    in
+    ignore (R.Manager.attach mgr f);
+    let config =
+      { R.Remediation.default_config with R.Remediation.use_fault_events = not silent }
+    in
+    let rem = Ihnet.Host.enable_remediation host ~config ~use_heartbeat:silent () in
+    (* heartbeat needs warm-up rounds to learn RTT baselines *)
+    Ihnet.Host.run_for host (U.Units.ms (if silent then 10.0 else 2.0));
+    let tenant_rate () =
+      E.Fabric.refresh fab;
+      List.fold_left
+        (fun acc (g : E.Flow.t) ->
+          if g.E.Flow.tenant = 1 && g.E.Flow.cls = E.Flow.Payload then acc +. g.E.Flow.rate
+          else acc)
+        0.0 (E.Fabric.active_flows fab)
+    in
+    let pre = tenant_rate () in
+    let bad =
+      match fault_link with
+      | Some (a, b) -> (
+        let dev n =
+          match T.Topology.device_by_name topo n with
+          | Some d -> d.T.Device.id
+          | None -> failwith ("no device " ^ n)
+        in
+        match T.Topology.links_between topo (dev a) (dev b) with
+        | l :: _ -> l.T.Link.id
+        | [] -> failwith "no such link")
+      | None -> (
+        match p.R.Placement.path.T.Path.hops with
+        | _ :: h :: _ | [ h ] -> h.T.Path.link.T.Link.id
+        | [] -> failwith "victim path has no hops")
+    in
+    let l = T.Topology.link topo bad in
+    let name id = (T.Topology.device topo id).T.Device.name in
+    let fault = E.Fault.degrade ~capacity_factor:factor () in
+    (match flap with
+    | Some n ->
+      Printf.printf "[flapping %s-%s x%d at 1 ms]\n" (name l.T.Link.a) (name l.T.Link.b) n;
+      E.Fabric.flap_link fab bad fault ~period:(U.Units.ms 1.0) ~toggles:n
+    | None ->
+      Printf.printf "[degrading %s-%s to %.0f%% capacity%s]\n" (name l.T.Link.a)
+        (name l.T.Link.b) (factor *. 100.0)
+        (if silent then ", silently" else "");
+      E.Fabric.inject_fault fab bad fault);
+    let t0 = Ihnet.Host.now host in
+    Ihnet.Host.run_for host (U.Units.ms ms);
+    let post = tenant_rate () in
+    Format.printf "victim: %a guaranteed, %a before fault, %a after the loop@." U.Units.pp_rate
+      rate U.Units.pp_rate pre U.Units.pp_rate post;
+    (match R.Remediation.time_to_detect rem bad ~since:t0 with
+    | Some d -> Format.printf "time-to-detect: %a@." U.Units.pp_time d
+    | None -> print_endline "time-to-detect: (case not opened)");
+    (match R.Remediation.time_to_recover rem bad with
+    | Some d -> Format.printf "time-to-recover: %a@." U.Units.pp_time d
+    | None -> print_endline "time-to-recover: (not recovered)");
+    Format.printf "%a" R.Remediation.pp_status rem;
+    print_endline "timeline:";
+    Format.printf "%a" R.Remediation.pp_timeline rem;
+    Format.printf "%a" R.Slo.pp (R.Slo.check mgr)
+  in
+  Cmd.v
+    (Cmd.info "heal"
+       ~doc:"Inject a fault on a guaranteed pipe and watch the remediation loop recover it.")
+    Term.(const run $ host_term $ src_arg $ dst_arg $ gbps $ fault_link $ factor $ silent $ flap $ ms)
+
 let scenario_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Scenario name.")
@@ -515,6 +629,6 @@ let spec_cmd =
 let main_cmd =
   let doc = "operator tools for the (simulated) manageable intra-host network" in
   Cmd.group (Cmd.info "ihnetctl" ~doc ~version:"1.0.0")
-    [ topo_cmd; ping_cmd; trace_cmd; perf_cmd; dump_cmd; check_cmd; heartbeat_cmd; monitor_cmd; plan_cmd; report_cmd; scenario_cmd; spec_cmd ]
+    [ topo_cmd; ping_cmd; trace_cmd; perf_cmd; dump_cmd; check_cmd; heal_cmd; heartbeat_cmd; monitor_cmd; plan_cmd; report_cmd; scenario_cmd; spec_cmd ]
 
 let () = exit (guarded (fun () -> Cmd.eval ~catch:false main_cmd))

@@ -13,6 +13,7 @@ type t = {
   mutable sampler : M.Sampler.t option;
   mutable heartbeat : M.Heartbeat.t option;
   mutable manager : R.Manager.t option;
+  mutable remediation : R.Remediation.t option;
 }
 
 let build_topology ?config = function
@@ -38,6 +39,7 @@ let create ?(seed = 42) ?config preset =
     sampler = None;
     heartbeat = None;
     manager = None;
+    remediation = None;
   }
 
 let sim t = t.sim
@@ -84,6 +86,30 @@ let enable_manager t ?headroom ?(shim_period = Ihnet_util.Units.us 50.0) () =
     m
 
 let manager t = t.manager
+
+(* The layering seam: Ihnet_manager must not depend on Ihnet_monitor
+   (observe vs act), so the supervisor takes detectors as callbacks and
+   the host — which sees both layers — plugs heartbeat localization in
+   here. Operator-injected faults reach the supervisor directly through
+   fabric events; this source is what catches the silent ones. *)
+let enable_remediation t ?config ?(use_heartbeat = true) () =
+  match t.remediation with
+  | Some r -> r
+  | None ->
+    let m = enable_manager t () in
+    let r = R.Remediation.create ?config m in
+    (if use_heartbeat then begin
+       let hb = start_heartbeats t () in
+       R.Remediation.add_source r ~name:"heartbeat"
+         (fun () ->
+           List.map (fun (s : M.Heartbeat.suspect) -> (s.M.Heartbeat.link, s.M.Heartbeat.score))
+             (M.Heartbeat.localize hb))
+     end);
+    R.Remediation.start r;
+    t.remediation <- Some r;
+    r
+
+let remediation t = t.remediation
 
 let submit_intent t intent =
   let m = enable_manager t () in

@@ -51,6 +51,21 @@ val enable_manager :
 
 val manager : t -> Ihnet_manager.Manager.t option
 
+val enable_remediation :
+  t ->
+  ?config:Ihnet_manager.Remediation.config ->
+  ?use_heartbeat:bool ->
+  unit ->
+  Ihnet_manager.Remediation.t
+(** Creates the self-healing supervisor (enabling the manager if
+    needed) and starts its detect → diagnose → act loop. With
+    [use_heartbeat] (default true) it also starts the heartbeat mesh
+    and wires {!Ihnet_monitor.Heartbeat.localize} in as a detector
+    source, so silent faults — not just operator-injected ones — open
+    remediation cases. Idempotent. *)
+
+val remediation : t -> Ihnet_manager.Remediation.t option
+
 val submit_intent :
   t -> Ihnet_manager.Intent.t -> (Ihnet_manager.Placement.t list, string) result
 (** Enables the manager (defaults) if needed, then submits. *)

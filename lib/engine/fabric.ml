@@ -855,6 +855,17 @@ let clear_fault t link_id =
   reallocate t (fault_seeds link_id);
   emit t (Fault_cleared link_id)
 
+let flap_link t link_id fault ~period ~toggles =
+  if period <= 0.0 then invalid_arg "Fabric.flap_link: period must be positive";
+  if toggles < 1 then invalid_arg "Fabric.flap_link: toggles must be >= 1";
+  let rec toggle k _ =
+    if k < toggles then begin
+      if k mod 2 = 0 then inject_fault t link_id fault else clear_fault t link_id;
+      Sim.schedule t.sim ~after:period (toggle (k + 1))
+    end
+  in
+  Sim.schedule t.sim ~after:0.0 (toggle 0)
+
 let clear_all_faults t =
   Fault.clear_all t.faults;
   refresh_all_caps t;

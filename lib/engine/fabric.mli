@@ -176,6 +176,15 @@ val clear_fault : t -> Ihnet_topology.Link.id -> unit
 val clear_all_faults : t -> unit
 val fault_of : t -> Ihnet_topology.Link.id -> Fault.link_fault
 
+val flap_link :
+  t -> Ihnet_topology.Link.id -> Fault.link_fault -> period:Ihnet_util.Units.ns ->
+  toggles:int -> unit
+(** Oscillate a link: inject [fault] now, then alternate clear/inject
+    every [period] until [toggles] transitions have fired (an odd count
+    leaves the fault installed, an even count leaves the link clean).
+    Each transition emits its {!event}, so listeners — notably the
+    remediation supervisor's flap damping — see every toggle. *)
+
 val fail_device : t -> Ihnet_topology.Device.id -> unit
 (** Take a device down: every incident link goes to {!Fault.down} in
     one reallocation (flows through it starve; probes are lost). *)

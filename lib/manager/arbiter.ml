@@ -9,19 +9,41 @@ type t = {
   mutable placements : Placement.t list;
   mutable decisions : int;
   mutable shim_running : bool;
+  mutable shim_gen : int; (* stamps tick chains so stale ones self-cancel *)
   floors : (int, float) Hashtbl.t; (* flow id -> installed floor *)
 }
 
+(* A flow that completes (or is stopped) on its own never goes through
+   release_flow/detach, so its floor entry and attachment must be pruned
+   here or guaranteed_of reports stale floors and the table grows
+   without bound under churn. The share refresh is deferred to the next
+   enforcement pass (shim tick or attach/detach) rather than run inside
+   the fabric's event dispatch. *)
+let on_fabric_event t = function
+  | Fabric.Flow_completed (f : Flow.t) | Fabric.Flow_stopped f ->
+    Hashtbl.remove t.floors f.Flow.id;
+    List.iter
+      (fun (p : Placement.t) ->
+        p.Placement.attached <-
+          List.filter (fun (g : Flow.t) -> g.Flow.id <> f.Flow.id) p.Placement.attached)
+      t.placements
+  | Fabric.Flow_started _ | Fabric.Fault_injected _ | Fabric.Fault_cleared _ -> ()
+
 let create fabric ?(reaction_delay = 0.0) () =
   assert (reaction_delay >= 0.0);
-  {
-    fabric;
-    reaction_delay;
-    placements = [];
-    decisions = 0;
-    shim_running = false;
-    floors = Hashtbl.create 32;
-  }
+  let t =
+    {
+      fabric;
+      reaction_delay;
+      placements = [];
+      decisions = 0;
+      shim_running = false;
+      shim_gen = 0;
+      floors = Hashtbl.create 32;
+    }
+  in
+  Fabric.subscribe fabric (on_fabric_event t);
+  t
 
 let placements t = t.placements
 
@@ -49,7 +71,7 @@ let refresh_placement t (p : Placement.t) =
     List.filter (fun (f : Flow.t) -> f.Flow.state = Flow.Running) p.Placement.attached;
   let n = List.length p.Placement.attached in
   if n > 0 then begin
-    let share = p.Placement.rate /. float_of_int n in
+    let share = p.Placement.rate *. p.Placement.floor_scale /. float_of_int n in
     let cap = if p.Placement.work_conserving then infinity else share in
     List.iter (fun f -> enforce t f ~floor:share ~cap) p.Placement.attached
   end
@@ -62,9 +84,21 @@ let add_placement t p =
   refresh_placement t p
 
 let remove_placement t p =
-  t.placements <- List.filter (fun q -> q != p) t.placements;
-  List.iter (release_flow t) p.Placement.attached;
-  p.Placement.attached <- []
+  (* by id: a structurally equal placement rebuilt elsewhere (e.g. after
+     recompilation) must still remove the registered one *)
+  let gone, kept =
+    List.partition (fun (q : Placement.t) -> q.Placement.id = p.Placement.id) t.placements
+  in
+  t.placements <- kept;
+  List.iter
+    (fun (q : Placement.t) ->
+      List.iter (release_flow t) q.Placement.attached;
+      q.Placement.attached <- [])
+    gone;
+  if gone = [] || not (List.memq p gone) then begin
+    List.iter (release_flow t) p.Placement.attached;
+    p.Placement.attached <- []
+  end
 
 (* Pipes first so a flow that matches both a pipe and a hose is charged
    to the more specific guarantee. *)
@@ -109,8 +143,13 @@ let start_shim ?attach:attach_opt t ~period =
   let attach_fn = match attach_opt with Some f -> f | None -> attach t in
   if not t.shim_running then begin
     t.shim_running <- true;
+    (* generation-stamp the chain: a stop_shim/start_shim pair bumps the
+       generation, so the old chain's pending tick sees a stale stamp
+       and dies instead of running as a second, double-enforcing chain *)
+    t.shim_gen <- t.shim_gen + 1;
+    let gen = t.shim_gen in
     let rec tick _ =
-      if t.shim_running then begin
+      if t.shim_running && gen = t.shim_gen then begin
         refresh t;
         List.iter
           (fun (f : Flow.t) ->
@@ -122,8 +161,14 @@ let start_shim ?attach:attach_opt t ~period =
     Sim.schedule (Fabric.sim t.fabric) ~after:0.0 tick
   end
 
-let stop_shim t = t.shim_running <- false
+let stop_shim t =
+  t.shim_running <- false;
+  t.shim_gen <- t.shim_gen + 1
 let decisions t = t.decisions
 
 let guaranteed_of t (flow : Flow.t) =
   Option.value ~default:0.0 (Hashtbl.find_opt t.floors flow.Flow.id)
+
+let installed_floors t =
+  Hashtbl.fold (fun id floor acc -> (id, floor) :: acc) t.floors []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

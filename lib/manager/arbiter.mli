@@ -54,3 +54,9 @@ val decisions : t -> int
 
 val guaranteed_of : t -> Ihnet_engine.Flow.t -> float
 (** Current floor installed for a flow; 0.0 if unmanaged. *)
+
+val installed_floors : t -> (int * float) list
+(** The floor table as (flow id, floor), sorted by id. Floors are
+    pruned when a flow detaches, is released, completes, or is stopped
+    — the guarantee-accounting invariant the soak and the qcheck
+    property pin: every entry belongs to a live attached flow. *)

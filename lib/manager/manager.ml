@@ -1,4 +1,6 @@
 module Fabric = Ihnet_engine.Fabric
+module Flow = Ihnet_engine.Flow
+module T = Ihnet_topology
 
 type t = {
   fabric : Fabric.t;
@@ -70,6 +72,73 @@ let attach t (flow : Ihnet_engine.Flow.t) =
 let detach t flow = Arbiter.detach t.arbiter flow
 let start_shim t ~period = Arbiter.start_shim ~attach:(attach t) t.arbiter ~period
 let stop_shim t = Arbiter.stop_shim t.arbiter
+
+let path_links (p : T.Path.t) =
+  List.map (fun (h : T.Path.hop) -> h.T.Path.link.T.Link.id) p.T.Path.hops
+
+let affected_placements t link =
+  List.filter (fun (p : Placement.t) -> List.mem link (path_links p.Placement.path)) t.live
+
+(* Re-place one pipe placement onto a pathway avoiding [avoid]:
+   recompile the equivalent intent through the interpreter for fresh
+   candidates, migrate the reservation (Scheduler.move), then migrate
+   the attached flows — each is stopped (the arbiter prunes its floor)
+   and restarted on the new route with its demand, weight and remaining
+   bytes carried over, modelling the application reconnecting after the
+   supervisor re-programmed its I/O path. Hoses are anchored to their
+   endpoint's only uplink and cannot be re-placed. *)
+let replace_placement t ~avoid (p : Placement.t) =
+  let ( let* ) = Result.bind in
+  if p.Placement.kind <> Placement.Pipe_fwd then Error "only pipe placements can be re-placed"
+  else begin
+    let topo = Fabric.topology t.fabric in
+    let name d = (T.Topology.device topo d).T.Device.name in
+    let intent =
+      {
+        (Intent.pipe ~tenant:p.Placement.tenant
+           ~src:(name p.Placement.path.T.Path.src)
+           ~dst:(name p.Placement.path.T.Path.dst)
+           ~rate:p.Placement.rate)
+        with
+        Intent.latency_bound = p.Placement.latency_bound;
+        work_conserving = p.Placement.work_conserving;
+      }
+    in
+    let* reqs = Interpreter.compile topo ~k_paths:t.k_paths intent in
+    let candidates =
+      List.concat_map (fun (r : Interpreter.requirement) -> r.Interpreter.candidates) reqs
+      |> List.filter (fun (c : T.Path.t) ->
+             let links = path_links c in
+             (not (List.exists (fun l -> List.mem l links) avoid))
+             && links <> path_links p.Placement.path)
+    in
+    let rec try_move = function
+      | [] -> Error "no alternate pathway clears the degraded link(s)"
+      | c :: rest -> if Scheduler.move t.scheduler p c then Ok c else try_move rest
+    in
+    let* new_path = try_move candidates in
+    let to_migrate =
+      List.filter (fun (f : Flow.t) -> f.Flow.state = Flow.Running) p.Placement.attached
+    in
+    Fabric.batch t.fabric (fun () ->
+        List.iter
+          (fun (f : Flow.t) ->
+            Fabric.stop_flow t.fabric f;
+            let size =
+              match f.Flow.size with
+              | Flow.Unbounded -> Flow.Unbounded
+              | Flow.Bytes _ -> Flow.Bytes (Float.max f.Flow.remaining 1.0)
+            in
+            let g =
+              Fabric.start_flow t.fabric ~tenant:f.Flow.tenant ~cls:f.Flow.cls
+                ~weight:f.Flow.weight ~demand:f.Flow.demand ~payload_bytes:f.Flow.payload_bytes
+                ~llc_target:f.Flow.llc_target
+                ?on_complete:f.Flow.on_complete ~path:new_path ~size ()
+            in
+            ignore (Arbiter.attach_placement t.arbiter g))
+          to_migrate);
+    Ok new_path
+  end
 
 let vnet t ~tenant = Vnet.build (Fabric.topology t.fabric) ~placements:t.live ~tenant
 

@@ -42,6 +42,20 @@ val detach : t -> Ihnet_engine.Flow.t -> unit
 val start_shim : t -> period:Ihnet_util.Units.ns -> unit
 val stop_shim : t -> unit
 
+val affected_placements : t -> Ihnet_topology.Link.id -> Placement.t list
+(** Live placements whose reserved path crosses the link — the blast
+    radius of a fault on it. *)
+
+val replace_placement :
+  t -> avoid:Ihnet_topology.Link.id list -> Placement.t -> (Ihnet_topology.Path.t, string) result
+(** Re-place a pipe placement onto an alternate path avoiding every
+    link in [avoid]: recompile the equivalent intent for fresh
+    candidates, migrate the reservation ledger ({!Scheduler.move}) to
+    the first candidate that fits, then migrate each attached running
+    flow onto the new route (remaining bytes, demand and weight carried
+    over) in one reallocation batch. Hose placements are anchored to
+    their endpoint's uplink and return [Error]. *)
+
 val vnet : t -> tenant:int -> Ihnet_topology.Topology.t
 (** The tenant's virtualized view of the intra-host network. *)
 

@@ -4,6 +4,7 @@ module Flow = Ihnet_engine.Flow
 type kind = Pipe_fwd | Hose_to_host | Hose_from_host
 
 type t = {
+  id : int;
   tenant : int;
   kind : kind;
   rate : float;
@@ -11,7 +12,18 @@ type t = {
   work_conserving : bool;
   latency_bound : Ihnet_util.Units.ns option;
   mutable attached : Flow.t list;
+  mutable floor_scale : float;
 }
+
+(* Stable identity: placements are rebuilt (recompiled, copied) across
+   remediation and migration, so lifecycle operations compare ids, never
+   physical or structural equality. *)
+let next_id = ref 0
+
+let fresh_id () =
+  let id = !next_id in
+  incr next_id;
+  id
 
 (* The hop adjacent to the hose's endpoint: the endpoint's own uplink,
    which only that endpoint's traffic can cross. For [Hose_to_host] the
@@ -50,5 +62,6 @@ let pp ppf t =
     | Hose_to_host -> "hose-in"
     | Hose_from_host -> "hose-out"
   in
-  Format.fprintf ppf "%s t%d %a (%d flows)" k t.tenant Ihnet_util.Units.pp_rate t.rate
+  Format.fprintf ppf "%s t%d %a (%d flows)%s" k t.tenant Ihnet_util.Units.pp_rate t.rate
     (List.length t.attached)
+    (if t.floor_scale < 1.0 then Printf.sprintf " [degraded x%.2f]" t.floor_scale else "")

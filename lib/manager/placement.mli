@@ -8,6 +8,11 @@ type kind =
   | Hose_from_host
 
 type t = {
+  id : int;
+      (** Stable identity, assigned at construction. Lifecycle
+          operations (removal, remediation) compare ids: a placement
+          rebuilt elsewhere with equal fields is still the {e same}
+          placement iff it carries the same id. *)
   tenant : int;
   kind : kind;
   rate : float;  (** Guaranteed bytes/s on [path]. *)
@@ -22,7 +27,15 @@ type t = {
   mutable attached : Ihnet_engine.Flow.t list;
       (** Live flows currently charged against this guarantee
           (arbiter-owned). *)
+  mutable floor_scale : float;
+      (** Remediation's graceful-degradation knob in [\[0,1\]] (default
+          1.0): floors are enforced at [rate * floor_scale]. Below 1.0
+          the placement is explicitly {e degraded} rather than silently
+          violated ({!Slo} reports it as such). *)
 }
+
+val fresh_id : unit -> int
+(** Next stable placement id (process-wide counter). *)
 
 val matches : t -> Ihnet_engine.Flow.t -> bool
 (** Does a flow belong to this placement? Pipes match on exact

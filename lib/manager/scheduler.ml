@@ -59,13 +59,15 @@ let place t (req : Interpreter.requirement) =
     charge t path req.Interpreter.rate;
     Ok
       {
-        Placement.tenant = req.Interpreter.tenant;
+        Placement.id = Placement.fresh_id ();
+        tenant = req.Interpreter.tenant;
         kind = req.Interpreter.kind;
         rate = req.Interpreter.rate;
         path;
         work_conserving = req.Interpreter.work_conserving;
         latency_bound = req.Interpreter.latency_bound;
         attached = [];
+        floor_scale = 1.0;
       }
 
 let release t (p : Placement.t) =

@@ -2,7 +2,7 @@ module Fabric = Ihnet_engine.Fabric
 module Flow = Ihnet_engine.Flow
 module U = Ihnet_util
 
-type state = Inactive | Met | Violated of string
+type state = Inactive | Met | Degraded of float | Violated of string
 
 type entry = {
   placement : Placement.t;
@@ -12,7 +12,7 @@ type entry = {
   state : state;
 }
 
-type report = { at : U.Units.ns; entries : entry list; violations : int }
+type report = { at : U.Units.ns; entries : entry list; violations : int; degraded : int }
 
 (* 1% slack absorbs fluid-model rounding *)
 let tolerance = 0.99
@@ -26,7 +26,11 @@ let check_placement fabric (p : Placement.t) =
     let demanded =
       List.fold_left (fun acc (f : Flow.t) -> acc +. Flow.effective_demand f) 0.0 flows
     in
-    let entitled = Float.min p.Placement.rate demanded in
+    (* A remediated placement promises only its scaled-down floor; it is
+       judged against that and reported Degraded, never silently held to
+       (and failed against) the original guarantee. *)
+    let scale = p.Placement.floor_scale in
+    let entitled = Float.min (p.Placement.rate *. scale) demanded in
     let bandwidth_ok = delivered >= entitled *. tolerance in
     let worst_latency =
       match p.Placement.latency_bound with
@@ -53,6 +57,7 @@ let check_placement fabric (p : Placement.t) =
              (Option.value ~default:nan worst_latency)
              U.Units.pp_time
              (Option.value ~default:nan p.Placement.latency_bound))
+      else if scale < 1.0 then Degraded scale
       else Met
     in
     { placement = p; delivered; demanded; worst_latency; state }
@@ -64,7 +69,10 @@ let check mgr =
   let violations =
     List.length (List.filter (fun e -> match e.state with Violated _ -> true | _ -> false) entries)
   in
-  { at = Fabric.now fabric; entries; violations }
+  let degraded =
+    List.length (List.filter (fun e -> match e.state with Degraded _ -> true | _ -> false) entries)
+  in
+  { at = Fabric.now fabric; entries; violations; degraded }
 
 let tenant_compliant report ~tenant =
   not
@@ -75,14 +83,15 @@ let tenant_compliant report ~tenant =
        report.entries)
 
 let pp ppf report =
-  Format.fprintf ppf "slo report at %a: %d placement(s), %d violation(s)@." U.Units.pp_time
-    report.at (List.length report.entries) report.violations;
+  Format.fprintf ppf "slo report at %a: %d placement(s), %d violation(s), %d degraded@."
+    U.Units.pp_time report.at (List.length report.entries) report.violations report.degraded;
   List.iter
     (fun e ->
       let state =
         match e.state with
         | Inactive -> "inactive"
         | Met -> "met"
+        | Degraded scale -> Printf.sprintf "DEGRADED to %.0f%% (explicit remediation verdict)" (scale *. 100.0)
         | Violated why -> "VIOLATED: " ^ why
       in
       Format.fprintf ppf "  %a -> delivered %a (demand %a) %s@." Placement.pp e.placement

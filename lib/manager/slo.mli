@@ -17,6 +17,11 @@
 type state =
   | Inactive  (** No live flows charged to the placement. *)
   | Met
+  | Degraded of float
+      (** The remediation supervisor shrank the floor to this fraction
+          of the guarantee (graceful degradation under a fault) and the
+          scaled-down promise is being met. An explicit, recorded
+          verdict — not a silent violation of the original SLO. *)
   | Violated of string  (** Human-readable reason. *)
 
 type entry = {
@@ -33,6 +38,7 @@ type report = {
   at : Ihnet_util.Units.ns;
   entries : entry list;
   violations : int;
+  degraded : int;  (** Entries under an explicit {!Degraded} verdict. *)
 }
 
 val check : Manager.t -> report
