@@ -26,6 +26,7 @@
 module E = Ihnet_engine
 module T = Ihnet_topology
 module M = Ihnet_manager
+module Rec = Ihnet_record
 
 let usage () =
   prerr_endline "usage: fabric_bench [--smoke] [-o FILE]";
@@ -139,10 +140,11 @@ let bench_churn_coupled = bench_churn ~nic_of:(fun i -> (i + 3) mod 8)
    in --smoke too). The reported rate is then simulated-ms/sec with the
    idle supervisor ticking. *)
 
-let make_managed_host () =
+let make_managed_host ?(wire = fun _ -> ()) () =
   let topo = T.Builder.two_socket_server () in
   let sim = E.Sim.create () in
   let fab = E.Fabric.create sim topo in
+  wire fab;
   let mgr = M.Manager.create fab () in
   List.iter
     (fun intent ->
@@ -199,6 +201,53 @@ let bench_remediation_idle () =
       t := !t +. 1e6;
       E.Sim.run ~until:!t sim)
 
+(* {1 recorder-idle: the flight-recorder hooks must be free when no
+   recorder is attached, and an active recorder must observe without
+   steering}
+
+   Three identical 50 ms managed-host runs: bare, with a recorder
+   attached and immediately stopped (dormant listener, cleared
+   dispatch tap), and with a recorder streaming the whole run into a
+   buffer. All three must leave the reallocation and decision counts
+   exactly equal — recording is passive, and recording-off costs only
+   the emptiness checks the compiler already paid for. The reported
+   rate is simulated-ms/sec with the dormant recorder in place. *)
+
+let bench_recorder_idle () =
+  let signature wire =
+    let sim, fab, mgr = make_managed_host ~wire () in
+    E.Sim.run ~until:50e6 sim;
+    ((E.Fabric.reallocations fab, M.Manager.decisions mgr), sim)
+  in
+  let baseline, _ = signature (fun _ -> ()) in
+  let stopped, sim =
+    signature (fun fab ->
+        let buf = Buffer.create 256 in
+        Rec.Recorder.stop (Rec.Recorder.attach ~sink:(Rec.Recorder.buffer_sink buf) fab))
+  in
+  let buf = Buffer.create 65536 in
+  let recording, _ =
+    signature (fun fab ->
+        ignore (Rec.Recorder.attach ~label:"bench" ~sink:(Rec.Recorder.buffer_sink buf) fab))
+  in
+  if stopped <> baseline then
+    failwith
+      (Printf.sprintf
+         "recorder-idle: dormant recorder changed the run — %d reallocations/%d decisions bare, \
+          %d/%d with it"
+         (fst baseline) (snd baseline) (fst stopped) (snd stopped));
+  if recording <> baseline then
+    failwith
+      (Printf.sprintf
+         "recorder-idle: active recording steered the run — %d reallocations/%d decisions bare, \
+          %d/%d recording"
+         (fst baseline) (snd baseline) (fst recording) (snd recording));
+  if Buffer.length buf = 0 then failwith "recorder-idle: active recorder captured nothing";
+  let t = ref (E.Sim.now sim) in
+  time_ops (fun () ->
+      t := !t +. 1e6;
+      E.Sim.run ~until:!t sim)
+
 let () =
   let subjects =
     [
@@ -209,6 +258,7 @@ let () =
       ("flow-churn-4096", fun () -> bench_churn_local 4096);
       ("flow-churn-coupled-4096", fun () -> bench_churn_coupled 4096);
       ("remediation-idle", bench_remediation_idle);
+      ("recorder-idle", bench_recorder_idle);
     ]
   in
   let results =

@@ -17,6 +17,7 @@ module E = Ihnet_engine
 module T = Ihnet_topology
 module U = Ihnet_util
 module R = Ihnet_manager
+module Rec = Ihnet_record
 
 let check_floors mgr ~at =
   let arb = R.Manager.arbiter mgr in
@@ -58,12 +59,22 @@ type stats = {
   floors : (int * float) list;
 }
 
-let run_campaign ~seed ~duration =
+let run_campaign ?trace_buf ?(digest_every = 64) ~seed ~duration () =
   let host = Ihnet.Host.create ~seed Ihnet.Host.Two_socket in
   let fab = Ihnet.Host.fabric host in
   let sim = Ihnet.Host.sim host in
+  (* flight recorder first, while the host is still flowless: any
+     failure below then comes with a replayable repro trace *)
+  let recorder =
+    Option.map
+      (fun buf ->
+        Rec.Recorder.attach ~digest_every ~label:"fault-campaign" ~seed
+          ~sink:(Rec.Recorder.buffer_sink buf) fab)
+      trace_buf
+  in
   let mgr = Ihnet.Host.enable_manager host () in
   let rem = Ihnet.Host.enable_remediation host ~use_heartbeat:false () in
+  Option.iter (fun r -> Rec.Recorder.observe_remediation r rem) recorder;
   let rng = U.Rng.create (seed * 7919) in
   let submit intent =
     match R.Manager.submit mgr intent with
@@ -136,6 +147,7 @@ let run_campaign ~seed ~duration =
   let count st = List.length (List.filter (fun (c : R.Remediation.case) -> c.R.Remediation.status = st) cases) in
   R.Remediation.stop rem;
   R.Manager.stop_shim mgr;
+  Option.iter Rec.Recorder.stop recorder;
   {
     faults = !faults;
     clears = !clears;
@@ -151,8 +163,12 @@ let run_campaign ~seed ~duration =
     floors = R.Arbiter.installed_floors (R.Manager.arbiter mgr);
   }
 
+let dump_trace path buf =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
+
 let () =
-  let seed = ref 42 and duration_ms = ref 200.0 in
+  let seed = ref 42 and duration_ms = ref 200.0 and record_file = ref None in
+  let digest_every = ref 64 in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest ->
@@ -164,12 +180,28 @@ let () =
     | "--duration-ms" :: v :: rest ->
       duration_ms := float_of_string v;
       parse rest
+    | "--record" :: v :: rest ->
+      record_file := Some v;
+      parse rest
+    | "--digest-every" :: v :: rest ->
+      digest_every := int_of_string v;
+      parse rest
     | a :: _ -> failwith ("fault_campaign: unknown argument " ^ a)
   in
   parse (List.tl (Array.to_list Sys.argv));
   let duration = U.Units.ms !duration_ms in
-  let s1 = run_campaign ~seed:!seed ~duration in
-  let s2 = run_campaign ~seed:!seed ~duration in
+  let buf1 = Buffer.create 65536 and buf2 = Buffer.create 65536 in
+  let guarded buf label =
+    try run_campaign ~trace_buf:buf ~digest_every:!digest_every ~seed:!seed ~duration ()
+    with e ->
+      let repro = "fault_campaign_repro.jsonl" in
+      dump_trace repro buf;
+      Printf.eprintf "CAMPAIGN FAILURE (%s): %s\n  repro trace written to %s\n" label
+        (Printexc.to_string e) repro;
+      exit 1
+  in
+  let s1 = guarded buf1 "first run" in
+  let s2 = guarded buf2 "second run" in
   Printf.printf
     "fault campaign: %.0f ms, seed %d\n\
     \  adversary: %d fault(s), %d clear(s), %d flap(s), %d shim restart(s), %d churn flow(s)\n\
@@ -179,10 +211,18 @@ let () =
     !duration_ms !seed s1.faults s1.clears s1.flaps s1.shim_restarts s1.flows s1.actions
     s1.resolved s1.exhausted s1.decisions s1.reallocations s1.checks;
   if s1 <> s2 then begin
+    dump_trace "fault_campaign_repro.jsonl" buf1;
+    dump_trace "fault_campaign_repro2.jsonl" buf2;
     Printf.eprintf
       "DETERMINISM FAILURE: identical seeds diverged (run1: %d decisions, %d actions; run2: %d \
-       decisions, %d actions)\n"
+       decisions, %d actions)\n\
+      \  repro traces written to fault_campaign_repro.jsonl / fault_campaign_repro2.jsonl\n"
       s1.decisions s1.actions s2.decisions s2.actions;
     exit 1
   end;
-  Printf.printf "  determinism: second run from seed %d produced an identical fingerprint\n" !seed
+  Printf.printf "  determinism: second run from seed %d produced an identical fingerprint\n" !seed;
+  match !record_file with
+  | Some path ->
+    dump_trace path buf1;
+    Printf.printf "  flight recorder: trace written to %s\n" path
+  | None -> ()

@@ -18,6 +18,7 @@ module U = Ihnet_util
 module W = Ihnet_workload
 module Mon = Ihnet_monitor
 module R = Ihnet_manager
+module Rec = Ihnet_record
 
 (* {1 Common options} *)
 
@@ -626,9 +627,89 @@ let spec_cmd =
     (Cmd.info "spec" ~doc:"Print an example topology spec file (for --topo-file).")
     Term.(const run $ const ())
 
+let record_cmd =
+  let source =
+    Arg.(
+      value
+      & opt string "e17"
+      & info [ "source"; "s" ] ~docv:"SCENARIO"
+          ~doc:"Golden scenario to drive and record: e1, e5 or e17.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Trace file to write (default: $(i,SCENARIO).trace.jsonl).")
+  in
+  let regen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "regen-golden" ] ~docv:"DIR"
+          ~doc:
+            "Re-record every golden scenario and rewrite the fingerprint files in $(docv) \
+             (test/golden in this repo), instead of recording one trace.")
+  in
+  let run source out regen =
+    match regen with
+    | Some dir ->
+      List.iter
+        (fun (path, (fp : Rec.Golden.fingerprint)) ->
+          Printf.printf "%s: %d lines, trace 0x%016Lx\n" path fp.Rec.Golden.g_lines
+            fp.Rec.Golden.g_trace)
+        (Rec.Golden.regenerate ~dir)
+    | None -> (
+      match Rec.Golden.find source with
+      | None -> failwith (Printf.sprintf "unknown scenario %S (e1|e5|e17)" source)
+      | Some sc ->
+        let path = match out with Some p -> p | None -> source ^ ".trace.jsonl" in
+        Out_channel.with_open_text path (fun oc ->
+            let t = Rec.Golden.record ~tee:(Rec.Recorder.channel_sink oc) sc in
+            Printf.printf "%s: wrote %d lines (trace fingerprint 0x%016Lx)\n" path
+              (1 + List.length t.Rec.Trace.lines)
+              (Rec.Trace.fingerprint t)))
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Drive a deterministic scenario with the flight recorder attached.")
+    Term.(const run $ source $ out $ regen)
+
+let replay_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE") in
+  let perturb_at =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "perturb-at" ] ~docv:"NS"
+          ~doc:
+            "Deliberately double the weight of one running flow at $(docv) (trace-relative \
+             nanoseconds) during replay — the conformance check must then report a divergence.")
+  in
+  let run file perturb_at =
+    let perturb =
+      Option.map
+        (fun at ->
+          ( at,
+            fun fab flows ->
+              match (flows : E.Flow.t list) with
+              | f :: _ -> E.Fabric.set_flow_limits fab f ~weight:(f.E.Flow.weight *. 2.0) ()
+              | [] -> () ))
+        perturb_at
+    in
+    match Rec.Replay.replay_file ?perturb file with
+    | Error e -> failwith e
+    | Ok report ->
+      Format.printf "%a@." Rec.Replay.pp_report report;
+      if not (Rec.Replay.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-execute a recorded trace on a fresh host and check digests epoch-by-epoch.")
+    Term.(const run $ file $ perturb_at)
+
 let main_cmd =
   let doc = "operator tools for the (simulated) manageable intra-host network" in
   Cmd.group (Cmd.info "ihnetctl" ~doc ~version:"1.0.0")
-    [ topo_cmd; ping_cmd; trace_cmd; perf_cmd; dump_cmd; check_cmd; heal_cmd; heartbeat_cmd; monitor_cmd; plan_cmd; report_cmd; scenario_cmd; spec_cmd ]
+    [ topo_cmd; ping_cmd; trace_cmd; perf_cmd; dump_cmd; check_cmd; heal_cmd; heartbeat_cmd; monitor_cmd; plan_cmd; report_cmd; scenario_cmd; spec_cmd; record_cmd; replay_cmd ]
 
 let () = exit (guarded (fun () -> Cmd.eval ~catch:false main_cmd))

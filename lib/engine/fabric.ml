@@ -78,6 +78,13 @@ and event =
   | Flow_stopped of Flow.t
   | Fault_injected of T.Link.id * Fault.link_fault
   | Fault_cleared of T.Link.id
+  | All_faults_cleared
+  | Limits_changed of Flow.t
+  | Config_changed of T.Hostconfig.t
+  | Reallocated of int (* the new epoch *)
+  | Batch_started
+  | Batch_ended
+  | Synced
 
 let res_of link_id (dir : T.Link.dir) = (2 * link_id) + match dir with T.Link.Fwd -> 0 | T.Link.Rev -> 1
 
@@ -290,6 +297,17 @@ let sync t =
   end
   else t.last_update <- now
 
+(* Public counter reads go through this wrapper: when the read actually
+   advances the lazy byte integration, announce it. Replay must
+   re-integrate over the same intervals (float addition is not
+   associative), so a recorder needs to see every observation-driven
+   sync; command-driven syncs (inside reallocate/stop) recur naturally
+   when the command is replayed and stay silent. *)
+let observed_sync t =
+  let stale = t.last_update < Sim.now t.sim in
+  sync t;
+  if stale && t.listeners <> [] then emit t Synced
+
 (* The socket (number) an llc_target flow writes into, when its
    destination is a CPU socket. *)
 let llc_socket t (f : Flow.t) =
@@ -491,7 +509,9 @@ and reallocate_now t seeds =
         List.iter (fun (res, c) -> t.load.(res) <- t.load.(res) +. (wb.(s) *. c)) sm.to_mem;
         List.iter (fun (res, c) -> t.load.(res) <- t.load.(res) +. (rr.(s) *. c)) sm.from_mem)
     t.comp_sockets;
-  schedule_next_completion t
+  schedule_next_completion t;
+  (* guarded so unobserved fabrics pay nothing for the recorder hook *)
+  if t.listeners <> [] then emit t (Reallocated t.epoch)
 
 and schedule_next_completion t =
   U.Heap.drop_while t.cheap (fun (e, stamp) ->
@@ -612,6 +632,7 @@ let start_flow t ~tenant ?(cls = Flow.Payload) ?(weight = 1.0) ?(floor = 0.0) ?(
       size;
       demand;
       payload_bytes;
+      working_set_pages;
       llc_target;
       started_at = Sim.now t.sim;
       weight;
@@ -668,7 +689,8 @@ let set_flow_limits t (f : Flow.t) ?weight ?floor ?cap () =
     match Hashtbl.find_opt t.entries f.Flow.id with
     | Some e ->
       e.dem <- demand_of_entry e;
-      reallocate t e.conn
+      reallocate t e.conn;
+      if t.listeners <> [] then emit t (Limits_changed f)
     | None -> reallocate t (all_seeds t)
 
 let active_flows t =
@@ -676,16 +698,18 @@ let active_flows t =
   |> List.sort (fun (a : Flow.t) b -> compare a.Flow.id b.Flow.id)
 
 let flow_count t = Hashtbl.length t.entries
-let refresh t = sync t
+let refresh t = observed_sync t
 
 let batch t f =
   if t.in_batch then f ()
   else begin
+    if t.listeners <> [] then emit t Batch_started;
     t.in_batch <- true;
     Fun.protect
       ~finally:(fun () ->
         t.in_batch <- false;
-        reallocate t (all_seeds t))
+        reallocate t (all_seeds t);
+        if t.listeners <> [] then emit t Batch_ended)
       f
   end
 
@@ -711,21 +735,21 @@ let link_utilization t link_id dir =
   if cap <= 0.0 then if rate > 0.0 then 1.0 else 0.0 else Float.min 1.0 (rate /. cap)
 
 let link_bytes t link_id dir =
-  sync t;
+  observed_sync t;
   t.link_bytes.(res_of link_id dir)
 
 let tenant_link_bytes t link_id dir ~tenant =
-  sync t;
+  observed_sync t;
   match Hashtbl.find_opt t.tenant_rows tenant with
   | Some row -> row.(res_of link_id dir)
   | None -> 0.0
 
 let cls_link_bytes t link_id dir ~cls =
-  sync t;
+  observed_sync t;
   t.cls_rows.(cls_index cls).(res_of link_id dir)
 
 let tenant_bytes t ~tenant =
-  sync t;
+  observed_sync t;
   match Hashtbl.find_opt t.tenant_rows tenant with
   | Some row -> Array.fold_left ( +. ) 0.0 row
   | None -> 0.0
@@ -869,7 +893,8 @@ let flap_link t link_id fault ~period ~toggles =
 let clear_all_faults t =
   Fault.clear_all t.faults;
   refresh_all_caps t;
-  reallocate t (all_seeds t)
+  reallocate t (all_seeds t);
+  if t.listeners <> [] then emit t All_faults_cleared
 
 let fault_of t link_id = Fault.get t.faults link_id
 
@@ -884,6 +909,7 @@ let set_config t config =
   T.Topology.set_config t.topo config;
   t.cache <- Cache.create config.T.Hostconfig.ddio;
   refresh_all_caps t;
-  reallocate t (all_seeds t)
+  reallocate t (all_seeds t);
+  if t.listeners <> [] then emit t (Config_changed config)
 
 let reallocations t = t.allocs

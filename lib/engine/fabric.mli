@@ -97,6 +97,25 @@ type event =
           knows what they injected); genuinely silent degradations fire
           no event — detecting those is the monitor's job. *)
   | Fault_cleared of Ihnet_topology.Link.id
+  | All_faults_cleared
+      (** {!clear_all_faults} ran — one reallocation regardless of how
+          many links were faulted, so it must be replayed as one
+          command, not per-link clears. *)
+  | Limits_changed of Flow.t
+      (** A flow's weight/floor/cap changed via {!set_flow_limits}. *)
+  | Config_changed of Ihnet_topology.Hostconfig.t
+      (** Host configuration swapped via {!set_config}. *)
+  | Reallocated of int
+      (** A reallocation committed; the payload is the new epoch. Fired
+          after rates, loads and completion events are consistent, so
+          listeners may read any telemetry accessor. *)
+  | Batch_started
+  | Batch_ended  (** Outermost {!batch} boundaries (nested are flattened). *)
+  | Synced
+      (** A public counter read advanced the lazy byte integration to
+          the current time. Replay re-applies these as {!refresh} so
+          integration intervals — and hence float rounding — match the
+          recorded run exactly. *)
 
 val subscribe : t -> (event -> unit) -> unit
 (** Register a listener for all subsequent events. Listeners run

@@ -10,6 +10,7 @@ type t = {
   size : size;
   demand : float;
   payload_bytes : int;
+  working_set_pages : int;
   llc_target : bool;
   started_at : Ihnet_util.Units.ns;
   mutable weight : float;

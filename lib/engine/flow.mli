@@ -30,6 +30,8 @@ type t = {
   payload_bytes : int;
       (** Per-transaction payload on PCIe hops, for protocol-efficiency
           accounting (small payloads waste link capacity on headers). *)
+  working_set_pages : int;
+      (** Distinct IOVA pages the flow's DMA touches (IOTLB pressure). *)
   llc_target : bool;
       (** True when DMA writes terminate in the LLC via DDIO (the path
           then ends at the CPU socket, not a DIMM). *)

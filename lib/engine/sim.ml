@@ -1,7 +1,13 @@
-type t = { mutable clock : float; queue : (t -> unit) Ihnet_util.Heap.t }
+type t = {
+  mutable clock : float;
+  queue : (t -> unit) Ihnet_util.Heap.t;
+  mutable tap : (float -> unit) option;
+}
 
-let create () = { clock = 0.0; queue = Ihnet_util.Heap.create () }
+let create () = { clock = 0.0; queue = Ihnet_util.Heap.create (); tap = None }
 let now t = t.clock
+let set_tap t f = t.tap <- Some f
+let clear_tap t = t.tap <- None
 
 let schedule_at t time f =
   let time = Float.max time t.clock in
@@ -29,6 +35,7 @@ let step t =
   | None -> false
   | Some (time, f) ->
     t.clock <- Float.max t.clock time;
+    (match t.tap with None -> () | Some g -> g t.clock);
     f t;
     true
 

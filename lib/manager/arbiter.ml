@@ -27,7 +27,9 @@ let on_fabric_event t = function
         p.Placement.attached <-
           List.filter (fun (g : Flow.t) -> g.Flow.id <> f.Flow.id) p.Placement.attached)
       t.placements
-  | Fabric.Flow_started _ | Fabric.Fault_injected _ | Fabric.Fault_cleared _ -> ()
+  | Fabric.Flow_started _ | Fabric.Fault_injected _ | Fabric.Fault_cleared _
+  | Fabric.Limits_changed _ | Fabric.Config_changed _ | Fabric.Reallocated _
+  | Fabric.All_faults_cleared | Fabric.Batch_started | Fabric.Batch_ended | Fabric.Synced -> ()
 
 let create fabric ?(reaction_delay = 0.0) () =
   assert (reaction_delay >= 0.0);

@@ -68,6 +68,7 @@ type t = {
   mutable history : action list; (* newest first *)
   mutable running : bool;
   mutable gen : int; (* stamps tick chains so stale ones self-cancel *)
+  mutable observers : (action -> unit) list; (* registration order *)
 }
 
 (* Same slack the SLO checker grants: absorbs fluid-model rounding. *)
@@ -132,7 +133,9 @@ let on_fabric_event t = function
     match case_for t link with
     | None -> ()
     | Some c -> c.transitions <- Fabric.now t.fabric :: c.transitions)
-  | Fabric.Flow_started _ | Fabric.Flow_completed _ | Fabric.Flow_stopped _ -> ()
+  | Fabric.Flow_started _ | Fabric.Flow_completed _ | Fabric.Flow_stopped _
+  | Fabric.Limits_changed _ | Fabric.Config_changed _ | Fabric.Reallocated _
+  | Fabric.All_faults_cleared | Fabric.Batch_started | Fabric.Batch_ended | Fabric.Synced -> ()
 
 let create ?(config = default_config) mgr =
   let t =
@@ -145,6 +148,7 @@ let create ?(config = default_config) mgr =
       history = [];
       running = false;
       gen = 0;
+      observers = [];
     }
   in
   Fabric.subscribe t.fabric (on_fabric_event t);
@@ -152,11 +156,15 @@ let create ?(config = default_config) mgr =
 
 let add_source t ~name f = t.sources <- t.sources @ [ (name, f) ]
 
+let on_action t f = t.observers <- t.observers @ [ f ]
+
 let record t c detail =
   c.total_actions <- c.total_actions + 1;
-  t.history <-
+  let a =
     { at = Fabric.now t.fabric; action_link = c.link; action_stage = c.stage; detail }
-    :: t.history
+  in
+  t.history <- a :: t.history;
+  List.iter (fun f -> f a) t.observers
 
 (* Victims: placements still routed over the suspect link whose running
    flows jointly receive less than the (possibly scaled-down) promise.

@@ -111,6 +111,11 @@ val actions : t -> action list
 
 val actions_count : t -> int
 
+val on_action : t -> (action -> unit) -> unit
+(** Register an observer called synchronously for every action the
+    supervisor takes, in registration order — the flight recorder's tap
+    into the control loop. No unsubscribe. *)
+
 val time_to_detect :
   t -> Ihnet_topology.Link.id -> since:Ihnet_util.Units.ns -> Ihnet_util.Units.ns option
 (** Detection latency relative to [since] (the fault injection time);

@@ -37,7 +37,12 @@ let severity s =
 let collect ?(round = 0) members =
   let hosts =
     List.map status_of members
-    |> List.sort (fun a b -> compare (severity b) (severity a))
+    |> List.sort (fun a b ->
+           (* worst first; equal severity orders by label so a fleet
+              report is stable run to run *)
+           match compare (severity b) (severity a) with
+           | 0 -> compare a.label b.label
+           | c -> c)
   in
   { at_wall = round; hosts }
 

@@ -83,7 +83,10 @@ let collect counter ?(congestion_threshold = 0.8) ?(window = U.Units.ms 1.0) ?(t
     links;
   let top_talkers =
     Hashtbl.fold (fun tenant rate acc -> { tenant; rate } :: acc) talker_tbl []
-    |> List.sort (fun a b -> compare b.rate a.rate)
+    |> List.sort (fun a b ->
+           (* rate desc, tenant asc on ties: Hashtbl.fold order must not
+              leak into the report *)
+           match compare b.rate a.rate with 0 -> compare a.tenant b.tenant | c -> c)
   in
   let ddio =
     List.map
@@ -110,7 +113,13 @@ let collect counter ?(congestion_threshold = 0.8) ?(window = U.Units.ms 1.0) ?(t
   {
     at = Fabric.now fabric;
     host = T.Topology.name topo;
-    congested = List.sort (fun a b -> compare b.utilization a.utilization) !congested;
+    congested =
+      List.sort
+        (fun a b ->
+          match compare b.utilization a.utilization with
+          | 0 -> compare (a.link, a.dir) (b.link, b.dir)
+          | c -> c)
+        !congested;
     top_talkers;
     ddio;
     monitoring_overhead;

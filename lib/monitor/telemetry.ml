@@ -57,9 +57,11 @@ let to_csv ?series t =
       match Hashtbl.find_opt t.series name with
       | None -> ()
       | Some r ->
-        Ring.iter
+        (* rings hold insertion order; exports promise time order (a
+           stable sort, so equal timestamps keep arrival order) *)
+        List.iter
           (fun s -> Buffer.add_string buf (Printf.sprintf "%s,%.0f,%.9g\n" name s.at s.value))
-          r)
+          (List.stable_sort (fun a b -> compare a.at b.at) (Ring.to_list r)))
     names;
   Buffer.contents buf
 

@@ -66,7 +66,9 @@ let capture fabric =
             }
         | _ -> ())
       | Fabric.Flow_completed _ | Fabric.Flow_stopped _ | Fabric.Fault_injected _
-      | Fabric.Fault_cleared _ ->
+      | Fabric.Fault_cleared _ | Fabric.Limits_changed _ | Fabric.Config_changed _
+      | Fabric.Reallocated _ | Fabric.All_faults_cleared | Fabric.Batch_started | Fabric.Batch_ended
+      | Fabric.Synced ->
         ());
   t
 

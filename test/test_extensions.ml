@@ -149,15 +149,15 @@ let event_tests =
         let _, sim, fab = make_host () in
         let log = ref [] in
         E.Fabric.subscribe fab (fun ev ->
-            let tag =
-              match ev with
-              | E.Fabric.Flow_started _ -> "start"
-              | E.Fabric.Flow_completed _ -> "complete"
-              | E.Fabric.Flow_stopped _ -> "stop"
-              | E.Fabric.Fault_injected _ -> "fault"
-              | E.Fabric.Fault_cleared _ -> "clear"
-            in
-            log := tag :: !log);
+            match ev with
+            | E.Fabric.Flow_started _ -> log := "start" :: !log
+            | E.Fabric.Flow_completed _ -> log := "complete" :: !log
+            | E.Fabric.Flow_stopped _ -> log := "stop" :: !log
+            | E.Fabric.Fault_injected _ -> log := "fault" :: !log
+            | E.Fabric.Fault_cleared _ -> log := "clear" :: !log
+            | E.Fabric.Limits_changed _ | E.Fabric.Config_changed _ | E.Fabric.Reallocated _
+            | E.Fabric.All_faults_cleared | E.Fabric.Batch_started | E.Fabric.Batch_ended
+            | E.Fabric.Synced -> ());
         let p = path fab "nic0" "dimm0.0.0" in
         ignore (E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:(E.Flow.Bytes 1e6) ());
         let f2 = E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:E.Flow.Unbounded () in

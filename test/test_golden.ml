@@ -1,0 +1,73 @@
+(* Golden-trace regression suite.
+
+   Each scenario in the golden store is re-recorded from scratch under
+   its fixed seed and compared — line count, final state digest,
+   whole-trace fingerprint — against the compact identity committed in
+   test/golden/<name>.json. Any engine change that alters scheduling,
+   allocation or byte accounting shows up here as a fingerprint drift
+   with a field-by-field diff. The fresh trace is then replayed to
+   prove it is self-conformant, so a stale golden file can be
+   distinguished from a broken recorder.
+
+   After an intentional behaviour change, regenerate with
+
+     dune exec bin/ihnetctl.exe -- record --regen-golden test/golden
+
+   and commit the rewritten json files. *)
+
+module Rec = Ihnet_record
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let golden_file scenario = Filename.concat "golden" (Rec.Golden.name scenario ^ ".json")
+
+let scenario_test sc =
+  tc (Rec.Golden.name sc) (fun () ->
+      let expected =
+        match Rec.Golden.load_fingerprint (golden_file sc) with
+        | Ok f -> f
+        | Error e -> Alcotest.fail ("golden store unreadable: " ^ e)
+      in
+      let trace = Rec.Golden.record sc in
+      let actual = Rec.Golden.fingerprint_of sc trace in
+      (match Rec.Golden.diff ~expected ~actual with
+      | [] -> ()
+      | diffs ->
+        Alcotest.fail
+          (String.concat "\n"
+             (Printf.sprintf
+                "golden fingerprint drift for %S — if the engine change is intentional, \
+                 regenerate with `ihnetctl record --regen-golden test/golden`:"
+                (Rec.Golden.name sc)
+             :: diffs)));
+      match Rec.Replay.run trace with
+      | Error e -> Alcotest.fail ("fresh golden trace not replayable: " ^ e)
+      | Ok r ->
+        if not (Rec.Replay.ok r) then
+          Alcotest.fail (Format.asprintf "fresh golden trace diverged:@.%a" Rec.Replay.pp_report r);
+        Alcotest.(check bool) "digests checked" true (r.Rec.Replay.digests_checked > 0))
+
+let store_tests =
+  [
+    tc "store covers exactly the published scenarios" (fun () ->
+        Alcotest.(check (list string))
+          "scenario names" [ "e1"; "e5"; "e17" ]
+          (List.map Rec.Golden.name Rec.Golden.scenarios));
+    tc "fingerprints round-trip through their json encoding" (fun () ->
+        List.iter
+          (fun sc ->
+            match Rec.Golden.load_fingerprint (golden_file sc) with
+            | Error e -> Alcotest.fail e
+            | Ok f -> (
+              match Rec.Golden.fingerprint_of_string (Rec.Golden.fingerprint_to_string f) with
+              | Ok f' ->
+                if f' <> f then Alcotest.fail ("fingerprint changed in transit: " ^ Rec.Golden.name sc)
+              | Error e -> Alcotest.fail e))
+          Rec.Golden.scenarios);
+  ]
+
+let suites =
+  [
+    ("golden.store", store_tests);
+    ("golden.scenarios", List.map scenario_test Rec.Golden.scenarios);
+  ]

@@ -116,6 +116,125 @@ let telemetry_tests =
         Alcotest.(check int) "bounded" 4 (Telemetry.length tm ~series:"x");
         Alcotest.(check int) "dropped" 6 (Telemetry.dropped_samples tm);
         Alcotest.(check int) "footprint" 4 (Telemetry.memory_samples tm));
+    tc "dropped_samples accumulates across series" (fun () ->
+        let tm = Telemetry.create ~capacity_per_series:3 () in
+        let fill series n =
+          for i = 1 to n do
+            Telemetry.record tm ~series ~at:(float_of_int i) (float_of_int i)
+          done
+        in
+        fill "x" 5;
+        fill "y" 4;
+        fill "z" 2;
+        Alcotest.(check int) "x+y overflowed, z did not" 3 (Telemetry.dropped_samples tm);
+        Alcotest.(check int) "retained" 8 (Telemetry.memory_samples tm));
+    tc "window and values only see retained samples after wraparound" (fun () ->
+        let tm = Telemetry.create ~capacity_per_series:4 () in
+        for i = 1 to 10 do
+          Telemetry.record tm ~series:"w" ~at:(float_of_int i) (10.0 *. float_of_int i)
+        done;
+        (* samples 1..6 were overwritten: since the beginning of time
+           still yields only the surviving tail, oldest first *)
+        let w = Telemetry.window tm ~series:"w" ~since:0.0 in
+        Alcotest.(check (list (float 0.0)))
+          "retained tail" [ 7.0; 8.0; 9.0; 10.0 ]
+          (List.map (fun s -> s.Telemetry.at) w);
+        Alcotest.(check (list (float 0.0)))
+          "values oldest first" [ 70.0; 80.0; 90.0; 100.0 ]
+          (Array.to_list (Telemetry.values tm ~series:"w")));
+    tc "rate_of_change is unconfused by wraparound" (fun () ->
+        let tm = Telemetry.create ~capacity_per_series:2 () in
+        (* a cumulative counter whose early history is long gone *)
+        List.iter
+          (fun (at, v) -> Telemetry.record tm ~series:"c" ~at v)
+          [ (0.0, 0.0); (1e9, 1e9); (2e9, 3e9); (3e9, 6e9) ];
+        match Telemetry.rate_of_change tm ~series:"c" with
+        | Some r -> Alcotest.(check (float 1.0)) "last two samples only" 3e9 r
+        | None -> Alcotest.fail "expected a rate");
+    tc "to_csv orders by series name then time" (fun () ->
+        let tm = Telemetry.create () in
+        (* interleaved, registered b-first: output must still be sorted *)
+        Telemetry.record tm ~series:"b" ~at:2.0 1.0;
+        Telemetry.record tm ~series:"a" ~at:1.0 2.0;
+        Telemetry.record tm ~series:"b" ~at:1.0 3.0;
+        Telemetry.record tm ~series:"a" ~at:2.0 4.0;
+        let csv = Telemetry.to_csv tm in
+        Alcotest.(check string)
+          "sorted csv" "series,at_ns,value\na,1,2\na,2,4\nb,1,3\nb,2,1\n" csv;
+        Alcotest.(check string)
+          "explicit selection keeps caller order"
+          "series,at_ns,value\nb,1,3\nb,2,1\na,1,2\na,2,4\n"
+          (Telemetry.to_csv ~series:[ "b"; "a" ] tm));
+  ]
+
+(* {1 Fleet ranking and snapshot stability} *)
+
+let fleet_member ?(busy = false) label =
+  let _, sim, fab = make_host () in
+  if busy then
+    ignore (E.Fabric.start_flow fab ~tenant:1 ~path:(path fab "nic0" "socket0")
+              ~size:E.Flow.Unbounded ());
+  ignore sim;
+  { Fleet.label; counter = Counter.create fab ~fidelity:Counter.Software; tenants = [ 1 ] }
+
+let fleet_tests =
+  [
+    tc "worst host first" (fun () ->
+        let t =
+          Fleet.collect
+            [ fleet_member "calm-a"; fleet_member ~busy:true "hot"; fleet_member "calm-b" ]
+        in
+        (match t.Fleet.hosts with
+        | first :: _ ->
+          Alcotest.(check string) "congested host leads" "hot" first.Fleet.label;
+          Alcotest.(check bool) "it is congested" true (first.Fleet.congested_links > 0)
+        | [] -> Alcotest.fail "empty fleet");
+        Alcotest.(check (list string))
+          "attention list" [ "hot" ]
+          (List.map (fun s -> s.Fleet.label) (Fleet.needs_attention t)));
+    tc "equal severity ranks by label, not hash order" (fun () ->
+        let labels = [ "node-d"; "node-b"; "node-e"; "node-a"; "node-c" ] in
+        let t = Fleet.collect (List.map fleet_member labels) in
+        Alcotest.(check (list string))
+          "ties alphabetical" (List.sort compare labels)
+          (List.map (fun s -> s.Fleet.label) t.Fleet.hosts));
+    tc "top talkers break rate ties by tenant" (fun () ->
+        let _, _, fab = make_host () in
+        let p = path fab "nic0" "socket0" in
+        (* same path, same limits: the shares are bit-identical *)
+        List.iter
+          (fun tenant ->
+            ignore (E.Fabric.start_flow fab ~tenant ~path:p ~size:E.Flow.Unbounded ()))
+          [ 4; 2; 3; 1 ];
+        let c = Counter.create fab ~fidelity:Counter.Software in
+        let h = Health.collect c ~tenants:[ 1; 2; 3; 4 ] () in
+        Alcotest.(check (list int))
+          "tenant order deterministic" [ 1; 2; 3; 4 ]
+          (List.map (fun (t : Health.talker) -> t.Health.tenant) h.Health.top_talkers));
+    tc "health snapshots of a steady host are stable" (fun () ->
+        let _, _, fab = make_host () in
+        let p = path fab "nic0" "socket0" in
+        ignore (E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:E.Flow.Unbounded ());
+        ignore (E.Fabric.start_flow fab ~tenant:2 ~path:p ~size:E.Flow.Unbounded ());
+        let c = Counter.create fab ~fidelity:Counter.Software in
+        let shape (h : Health.t) =
+          ( List.map (fun (c : Health.congested_link) -> (c.Health.link, c.Health.dir)) h.Health.congested,
+            List.map (fun (t : Health.talker) -> t.Health.tenant) h.Health.top_talkers )
+        in
+        let h1 = Health.collect c ~tenants:[ 1; 2 ] () in
+        let h2 = Health.collect c ~tenants:[ 1; 2 ] () in
+        Alcotest.(check (pair (list (pair int bool)) (list int)))
+          "consecutive windows agree"
+          (let cs, ts = shape h1 in
+           (List.map (fun (l, d) -> (l, d = T.Link.Rev)) cs, ts))
+          (let cs, ts = shape h2 in
+           (List.map (fun (l, d) -> (l, d = T.Link.Rev)) cs, ts)));
+    tc "config findings are stable across identical hosts" (fun () ->
+        let f1 = (fleet_member "a").Fleet.counter in
+        let f2 = (fleet_member "b").Fleet.counter in
+        let findings c = Anomaly.check_configuration (E.Fabric.topology (Counter.fabric c)) in
+        Alcotest.(check (list string)) "same topology, same findings" (findings f1) (findings f2);
+        Alcotest.(check (list string)) "re-check is a fixpoint" (findings f1) (findings f1));
   ]
 
 (* {1 Sampler} *)
@@ -470,6 +589,7 @@ let suites =
   [
     ("monitor.counter", counter_tests);
     ("monitor.telemetry", telemetry_tests);
+    ("monitor.fleet", fleet_tests);
     ("monitor.sampler", sampler_tests);
     ("monitor.heartbeat", heartbeat_tests);
     ("monitor.anomaly", anomaly_tests);

@@ -11,12 +11,32 @@ module U = Ihnet_util
 module W = Ihnet_workload
 module Mon = Ihnet_monitor
 module R = Ihnet_manager
+module Rec = Ihnet_record
 
 let tc name f = Alcotest.test_case name `Quick f
 
-let soak () =
+(* On any failure inside [f], dump the flight-recorder buffer as a
+   replayable repro trace before letting the exception escape. *)
+let with_repro name f =
+  let buf = Buffer.create 65536 in
+  try f buf
+  with e ->
+    let path = Printf.sprintf "soak_repro_%s.jsonl" name in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Buffer.contents buf));
+    Printf.eprintf "soak %s failed; repro trace written to %s\n%!" name path;
+    raise e
+
+let soak ?record_buf () =
   let host = Ihnet.Host.create ~seed:1234 Ihnet.Host.Two_socket in
   let fab = Ihnet.Host.fabric host in
+  let recorder =
+    Option.map
+      (fun buf ->
+        Rec.Recorder.attach ~digest_every:256 ~label:"soak" ~seed:1234
+          ~sink:(Rec.Recorder.buffer_sink buf) fab)
+      record_buf
+  in
   let sim = Ihnet.Host.sim host in
   let topo = Ihnet.Host.topology host in
   let rng = U.Rng.create 77 in
@@ -101,13 +121,15 @@ let soak () =
           [ T.Link.Fwd; T.Link.Rev ])
       (T.Topology.links topo)
   done;
+  Option.iter Rec.Recorder.stop recorder;
   (host, fab, sampler, hb, mgr, kv, ml, st, ar, !conservation_ok, !sick_during_fault)
 
 let soak_tests =
   [
     tc "200 ms of everything at once upholds the global invariants" (fun () ->
+        with_repro "everything" @@ fun buf ->
         let host, fab, sampler, hb, mgr, kv, ml, st, ar, conservation_ok, sick_during_fault =
-          soak ()
+          soak ~record_buf:buf ()
         in
         (* capacity conservation held at every checkpoint *)
         Alcotest.(check bool) "conservation" true conservation_ok;
@@ -149,10 +171,17 @@ let soak_tests =
    checkpoint: per-link conservation (Σ rates ≤ effective capacity) and
    the one protected flow's floor. *)
 
-let high_churn () =
+let high_churn ?record_buf () =
   let topo = T.Builder.dgx_like () in
   let sim = E.Sim.create () in
   let fab = E.Fabric.create ~seed:7 sim topo in
+  let recorder =
+    Option.map
+      (fun buf ->
+        Rec.Recorder.attach ~digest_every:1024 ~label:"soak-churn" ~seed:7
+          ~sink:(Rec.Recorder.buffer_sink buf) fab)
+      record_buf
+  in
   let rng = U.Rng.create 9 in
   let dev n = (Option.get (T.Topology.device_by_name topo n)).T.Device.id in
   let path a b = Option.get (T.Routing.shortest_path topo (dev a) (dev b)) in
@@ -212,12 +241,14 @@ let high_churn () =
   Queue.iter (fun f -> E.Fabric.stop_flow fab f) live;
   E.Sim.run ~until:(E.Sim.now sim +. U.Units.ms 5.0) sim;
   check ();
+  Option.iter Rec.Recorder.stop recorder;
   (fab, protected_flow, !violations, !completed)
 
 let high_churn_tests =
   [
     tc "10k-flow churn on a dgx keeps conservation and floors" (fun () ->
-        let fab, protected_flow, violations, completed = high_churn () in
+        with_repro "churn" @@ fun buf ->
+        let fab, protected_flow, violations, completed = high_churn ~record_buf:buf () in
         Alcotest.(check int) "no conservation or floor violations" 0 violations;
         Alcotest.(check bool) "completions drained through the heap" true (completed > 100);
         Alcotest.(check bool) "reallocations happened" true (E.Fabric.reallocations fab > 10_000);
