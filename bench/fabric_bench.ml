@@ -26,6 +26,7 @@
 module E = Ihnet_engine
 module T = Ihnet_topology
 module M = Ihnet_manager
+module Mon = Ihnet_monitor
 module Rec = Ihnet_record
 
 let usage () =
@@ -248,6 +249,50 @@ let bench_recorder_idle () =
       t := !t +. 1e6;
       E.Sim.run ~until:!t sim)
 
+(* {1 evidence-idle: the corroboration gate must be free when every
+   sensor is honest}
+
+   Two identical 50 ms supervised runs with no fault and no lying
+   sensor: one with the bare remediation loop, one with an evidence
+   gate installed (and its fabric subscription live). Both must take
+   zero actions and leave reallocation and decision counts exactly
+   equal — with no detector reports the gate's verdict path is a hash
+   lookup that never fires, and its fabric listener only reacts to
+   fault events that never come. The reported rate is simulated-ms/sec
+   with the gated supervisor ticking. *)
+
+let bench_evidence_idle () =
+  let measure ~gated =
+    let sim, fab, mgr = make_managed_host () in
+    let rem = M.Remediation.create mgr in
+    if gated then begin
+      let ev = Mon.Evidence.create fab in
+      M.Remediation.set_gate rem (Mon.Evidence.gate ev)
+    end;
+    M.Remediation.start rem;
+    E.Sim.run ~until:50e6 sim;
+    ((E.Fabric.reallocations fab, M.Manager.decisions mgr), rem, sim)
+  in
+  let baseline, rem0, _ = measure ~gated:false in
+  let gated, rem1, sim = measure ~gated:true in
+  List.iter
+    (fun (label, r) ->
+      if M.Remediation.actions_count r > 0 then
+        failwith
+          (Printf.sprintf "evidence-idle: %d action(s) taken with no fault injected (%s)"
+             (M.Remediation.actions_count r) label))
+    [ ("ungated", rem0); ("gated", rem1) ];
+  if gated <> baseline then
+    failwith
+      (Printf.sprintf
+         "evidence-idle: fault-free gate overhead detected — %d reallocations/%d decisions \
+          ungated, %d/%d gated"
+         (fst baseline) (snd baseline) (fst gated) (snd gated));
+  let t = ref (E.Sim.now sim) in
+  time_ops (fun () ->
+      t := !t +. 1e6;
+      E.Sim.run ~until:!t sim)
+
 let () =
   let subjects =
     [
@@ -259,6 +304,7 @@ let () =
       ("flow-churn-coupled-4096", fun () -> bench_churn_coupled 4096);
       ("remediation-idle", bench_remediation_idle);
       ("recorder-idle", bench_recorder_idle);
+      ("evidence-idle", bench_evidence_idle);
     ]
   in
   let results =

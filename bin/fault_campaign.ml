@@ -3,6 +3,7 @@
      dune exec bin/fault_campaign.exe                    # 200 ms campaign
      dune exec bin/fault_campaign.exe -- --smoke         # 20 ms, CI-sized
      dune exec bin/fault_campaign.exe -- --seed 7 --duration-ms 500
+     dune exec bin/fault_campaign.exe -- --sensor-faults # lying telemetry too
 
    A two-socket host under flow churn while a seeded adversary injects,
    clears and flaps faults on random PCIe links and restarts the
@@ -11,7 +12,15 @@
    running flows — no stale entries from completed/stopped/migrated
    flows, no attached flow without its floor. The whole campaign then
    runs a second time from the same seed and must produce an identical
-   fingerprint (determinism). Exit status 0 = all checks passed. *)
+   fingerprint (determinism). Exit status 0 = all checks passed.
+
+   With --sensor-faults a second adversary corrupts the telemetry plane
+   itself (stuck counters, drift, sample loss, clock skew, heartbeat
+   probe corruption — at least three lying sensors held active), the
+   full monitor stack runs (sampler + heartbeat mesh), and remediation
+   is gated behind the evidence corroborator. The extra invariant: no
+   impactful Replace/Degrade action may ever land on a link that never
+   carried a real fault — lying sensors alone must not move traffic. *)
 
 module E = Ihnet_engine
 module T = Ihnet_topology
@@ -56,10 +65,14 @@ type stats = {
   actions : int;
   resolved : int;
   exhausted : int;
+  sensor_injects : int;
+  sensor_clears : int;
+  sensor_active : int;
+  false_migrations : int;
   floors : (int * float) list;
 }
 
-let run_campaign ?trace_buf ?(digest_every = 64) ~seed ~duration () =
+let run_campaign ?trace_buf ?(digest_every = 64) ?(sensor_mode = false) ~seed ~duration () =
   let host = Ihnet.Host.create ~seed Ihnet.Host.Two_socket in
   let fab = Ihnet.Host.fabric host in
   let sim = Ihnet.Host.sim host in
@@ -73,7 +86,16 @@ let run_campaign ?trace_buf ?(digest_every = 64) ~seed ~duration () =
       trace_buf
   in
   let mgr = Ihnet.Host.enable_manager host () in
-  let rem = Ihnet.Host.enable_remediation host ~use_heartbeat:false () in
+  let rem =
+    if sensor_mode then begin
+      (* full monitor stack: the sampler so series faults bite, the
+         heartbeat mesh so probe corruption bites, and the evidence
+         gate so neither can trigger a migration on its own *)
+      ignore (Ihnet.Host.start_monitoring host ());
+      Ihnet.Host.enable_remediation host ~use_heartbeat:true ~use_evidence:true ()
+    end
+    else Ihnet.Host.enable_remediation host ~use_heartbeat:false ()
+  in
   Option.iter (fun r -> Rec.Recorder.observe_remediation r rem) recorder;
   let rng = U.Rng.create (seed * 7919) in
   let submit intent =
@@ -94,6 +116,10 @@ let run_campaign ?trace_buf ?(digest_every = 64) ~seed ~duration () =
   in
   let faults = ref 0 and clears = ref 0 and flaps = ref 0 in
   let restarts = ref 0 and flows = ref 0 and checks = ref 0 in
+  let sensor_injects = ref 0 and sensor_clears = ref 0 in
+  (* every link that ever carried a real fault (injected or flapped);
+     the sensor-mode invariant compares migrations against this set *)
+  let ever_faulted : (T.Link.id, unit) Hashtbl.t = Hashtbl.create 16 in
   (* flow churn: bounded flows on the live placements, completing on
      their own so floor pruning on self-completion is exercised *)
   E.Sim.every sim ~period:(U.Units.us 73.0) ~until:duration (fun _ ->
@@ -115,6 +141,7 @@ let run_campaign ?trace_buf ?(digest_every = 64) ~seed ~duration () =
       match U.Rng.int rng 5 with
       | 0 | 1 ->
         incr faults;
+        Hashtbl.replace ever_faulted link ();
         let factor = [| 0.05; 0.2; 0.5 |].(U.Rng.int rng 3) in
         E.Fabric.inject_fault fab link (E.Fault.degrade ~capacity_factor:factor ())
       | 2 ->
@@ -122,12 +149,61 @@ let run_campaign ?trace_buf ?(digest_every = 64) ~seed ~duration () =
         E.Fabric.clear_fault fab link
       | 3 ->
         incr flaps;
+        Hashtbl.replace ever_faulted link ();
         E.Fabric.flap_link fab link
           (E.Fault.degrade ~capacity_factor:0.1 ())
           ~period:(U.Units.us 400.0) ~toggles:(2 * (1 + U.Rng.int rng 4))
       | _ ->
         incr clears;
         E.Fabric.clear_all_faults fab);
+  (* sensor adversary: corrupts the telemetry plane, never the fabric.
+     Seeds three liars up front and keeps at least three active so the
+     evidence gate is always under attack. *)
+  if sensor_mode then begin
+    let devices =
+      Array.of_list (List.map (fun d -> d.T.Device.id) (T.Topology.devices (Ihnet.Host.topology host)))
+    in
+    let series =
+      Array.of_list
+        (List.concat_map
+           (fun (l : T.Link.t) ->
+             [ Printf.sprintf "link.%d.fwd.bytes" l.T.Link.id;
+               Printf.sprintf "link.%d.fwd.util" l.T.Link.id;
+               Printf.sprintf "link.%d.rev.bytes" l.T.Link.id ])
+           (Array.to_list pcie_links))
+    in
+    let inject tgt sf =
+      incr sensor_injects;
+      E.Fabric.inject_sensor_fault fab tgt sf
+    in
+    inject (E.Sensorfault.Device (U.Rng.pick rng devices)) (E.Sensorfault.probe_corruption ~loss:0.85 ());
+    inject (E.Sensorfault.Device (U.Rng.pick rng devices)) (E.Sensorfault.drifting ~factor:3.0);
+    inject (E.Sensorfault.Series (U.Rng.pick rng series)) E.Sensorfault.stuck_at;
+    E.Sim.every sim ~period:(U.Units.us 811.0) ~until:duration (fun _ ->
+        match U.Rng.int rng 6 with
+        | 0 ->
+          inject (E.Sensorfault.Device (U.Rng.pick rng devices))
+            (E.Sensorfault.probe_corruption ~loss:(U.Rng.uniform rng 0.5 0.95)
+               ~slow:(U.Rng.uniform rng 0.0 0.5) ())
+        | 1 ->
+          inject (E.Sensorfault.Device (U.Rng.pick rng devices))
+            (E.Sensorfault.drifting ~factor:(U.Rng.uniform rng 1.5 4.0))
+        | 2 -> inject (E.Sensorfault.Series (U.Rng.pick rng series)) E.Sensorfault.stuck_at
+        | 3 ->
+          inject (E.Sensorfault.Series (U.Rng.pick rng series))
+            (E.Sensorfault.lossy ~drop_prob:(U.Rng.uniform rng 0.1 0.5) ~dup_prob:0.1 ())
+        | 4 ->
+          inject (E.Sensorfault.Series (U.Rng.pick rng series))
+            (E.Sensorfault.skewed ~skew:(U.Rng.uniform rng 0.0 (U.Units.us 40.0)))
+        | _ ->
+          (* clear one liar, but never drop below three active *)
+          let active = E.Fabric.sensor_faults fab in
+          if List.length active > 3 then begin
+            let tgts = Array.of_list (List.map fst active) in
+            incr sensor_clears;
+            E.Fabric.clear_sensor_fault fab (U.Rng.pick rng tgts)
+          end)
+  end;
   (* shim restarts under load: the generation stamp must keep exactly
      one tick chain alive *)
   E.Sim.every sim ~period:(U.Units.ms 5.0) ~until:duration (fun _ ->
@@ -139,10 +215,30 @@ let run_campaign ?trace_buf ?(digest_every = 64) ~seed ~duration () =
       incr checks;
       check_floors mgr ~at:(Ihnet.Host.now host));
   Ihnet.Host.run_for host duration;
+  let sensor_active = List.length (E.Fabric.sensor_faults fab) in
+  if sensor_mode && sensor_active < 3 then
+    failwith (Printf.sprintf "sensor adversary fell below three liars (%d active)" sensor_active);
   E.Fabric.clear_all_faults fab;
+  E.Fabric.clear_all_sensor_faults fab;
   Ihnet.Host.run_for host (U.Units.ms 30.0);
   check_floors mgr ~at:(Ihnet.Host.now host);
   incr checks;
+  (* sensor-mode invariant: lying telemetry must never move traffic off
+     a healthy link — impactful Replace/Degrade only on ever-faulted *)
+  let false_migrations =
+    List.length
+      (List.filter
+         (fun (a : R.Remediation.action) ->
+           a.R.Remediation.impact
+           && (a.R.Remediation.action_stage = R.Remediation.Replace
+              || a.R.Remediation.action_stage = R.Remediation.Degrade)
+           && not (Hashtbl.mem ever_faulted a.R.Remediation.action_link))
+         (R.Remediation.actions rem))
+  in
+  if sensor_mode && false_migrations > 0 then
+    failwith
+      (Printf.sprintf "%d migration/degradation action(s) landed on never-faulted links"
+         false_migrations);
   let cases = R.Remediation.cases rem in
   let count st = List.length (List.filter (fun (c : R.Remediation.case) -> c.R.Remediation.status = st) cases) in
   R.Remediation.stop rem;
@@ -160,6 +256,10 @@ let run_campaign ?trace_buf ?(digest_every = 64) ~seed ~duration () =
     actions = R.Remediation.actions_count rem;
     resolved = count R.Remediation.Resolved;
     exhausted = count R.Remediation.Exhausted;
+    sensor_injects = !sensor_injects;
+    sensor_clears = !sensor_clears;
+    sensor_active;
+    false_migrations;
     floors = R.Arbiter.installed_floors (R.Manager.arbiter mgr);
   }
 
@@ -168,11 +268,14 @@ let dump_trace path buf =
 
 let () =
   let seed = ref 42 and duration_ms = ref 200.0 and record_file = ref None in
-  let digest_every = ref 64 in
+  let digest_every = ref 64 and sensor_mode = ref false in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest ->
       duration_ms := 20.0;
+      parse rest
+    | "--sensor-faults" :: rest ->
+      sensor_mode := true;
       parse rest
     | "--seed" :: v :: rest ->
       seed := int_of_string v;
@@ -192,7 +295,9 @@ let () =
   let duration = U.Units.ms !duration_ms in
   let buf1 = Buffer.create 65536 and buf2 = Buffer.create 65536 in
   let guarded buf label =
-    try run_campaign ~trace_buf:buf ~digest_every:!digest_every ~seed:!seed ~duration ()
+    try
+      run_campaign ~trace_buf:buf ~digest_every:!digest_every ~sensor_mode:!sensor_mode ~seed:!seed
+        ~duration ()
     with e ->
       let repro = "fault_campaign_repro.jsonl" in
       dump_trace repro buf;
@@ -203,13 +308,20 @@ let () =
   let s1 = guarded buf1 "first run" in
   let s2 = guarded buf2 "second run" in
   Printf.printf
-    "fault campaign: %.0f ms, seed %d\n\
+    "fault campaign: %.0f ms, seed %d%s\n\
     \  adversary: %d fault(s), %d clear(s), %d flap(s), %d shim restart(s), %d churn flow(s)\n\
     \  remediation: %d action(s), %d case(s) resolved, %d exhausted\n\
     \  arbiter: %d decision(s), %d reallocation(s)\n\
     \  invariant: floor accounting consistent at all %d epoch check(s)\n"
-    !duration_ms !seed s1.faults s1.clears s1.flaps s1.shim_restarts s1.flows s1.actions
-    s1.resolved s1.exhausted s1.decisions s1.reallocations s1.checks;
+    !duration_ms !seed
+    (if !sensor_mode then " (sensor faults on)" else "")
+    s1.faults s1.clears s1.flaps s1.shim_restarts s1.flows s1.actions s1.resolved s1.exhausted
+    s1.decisions s1.reallocations s1.checks;
+  if !sensor_mode then
+    Printf.printf
+      "  sensor adversary: %d liar(s) injected, %d cleared, %d still active at teardown\n\
+      \  evidence gate: %d migration/degradation action(s) on never-faulted links\n"
+      s1.sensor_injects s1.sensor_clears s1.sensor_active s1.false_migrations;
   if s1 <> s2 then begin
     dump_trace "fault_campaign_repro.jsonl" buf1;
     dump_trace "fault_campaign_repro2.jsonl" buf2;

@@ -674,6 +674,109 @@ let record_cmd =
     (Cmd.info "record" ~doc:"Drive a deterministic scenario with the flight recorder attached.")
     Term.(const run $ source $ out $ regen)
 
+let faults_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE") in
+  let timeline =
+    Arg.(
+      value & flag
+      & info [ "timeline"; "t" ]
+          ~doc:"Also print every fault injection and clear chronologically, not just the final \
+                active sets.")
+  in
+  (* codec types -> engine types, so the listing reuses the engine's
+     canonical descriptions instead of duplicating the formatting *)
+  let starget_of = function
+    | Rec.Trace.Sf_device d -> E.Sensorfault.Device d
+    | Rec.Trace.Sf_series s -> E.Sensorfault.Series s
+  in
+  let sf_of (sf : Rec.Trace.sensor_fault) =
+    {
+      E.Sensorfault.stuck = sf.Rec.Trace.sf_stuck;
+      drift = sf.Rec.Trace.sf_drift;
+      drop_prob = sf.Rec.Trace.sf_drop;
+      dup_prob = sf.Rec.Trace.sf_dup;
+      skew = sf.Rec.Trace.sf_skew;
+      probe_loss = sf.Rec.Trace.sf_probe_loss;
+      probe_slow = sf.Rec.Trace.sf_probe_slow;
+    }
+  in
+  let fault_label (f : Rec.Trace.fault) =
+    let parts =
+      (if f.Rec.Trace.capacity_factor < 1.0 then
+         [ Printf.sprintf "capacity x%.2f" f.Rec.Trace.capacity_factor ]
+       else [])
+      @ (if f.Rec.Trace.extra_latency > 0.0 then
+           [ Printf.sprintf "+%.0f ns latency" f.Rec.Trace.extra_latency ]
+         else [])
+      @
+      if f.Rec.Trace.loss_prob > 0.0 then
+        [ Printf.sprintf "loss %.0f%%" (100.0 *. f.Rec.Trace.loss_prob) ]
+      else []
+    in
+    if parts = [] then "no-op" else String.concat ", " parts
+  in
+  let run file timeline =
+    match Rec.Trace.load file with
+    | Error e -> failwith e
+    | Ok t ->
+      let links : (int, float * Rec.Trace.fault) Hashtbl.t = Hashtbl.create 16 in
+      let sensors : (Rec.Trace.starget, float * Rec.Trace.sensor_fault) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let ev at fmt = Printf.ksprintf (fun s -> if timeline then Printf.printf "%10.0f  %s\n" at s) fmt in
+      List.iter
+        (function
+          | Rec.Trace.Op { at; op } -> (
+            match op with
+            | Rec.Trace.Inject_fault { link; fault } ->
+              Hashtbl.replace links link (at, fault);
+              ev at "link %-4d fault: %s" link (fault_label fault)
+            | Rec.Trace.Clear_fault link ->
+              Hashtbl.remove links link;
+              ev at "link %-4d cleared" link
+            | Rec.Trace.Clear_all_faults ->
+              Hashtbl.reset links;
+              ev at "all link faults cleared"
+            | Rec.Trace.Inject_sensor_fault { starget; sf } ->
+              Hashtbl.replace sensors starget (at, sf);
+              ev at "%-12s sensor fault: %s"
+                (E.Sensorfault.target_label (starget_of starget))
+                (E.Sensorfault.describe (sf_of sf))
+            | Rec.Trace.Clear_sensor_fault starget ->
+              Hashtbl.remove sensors starget;
+              ev at "%-12s sensor cleared" (E.Sensorfault.target_label (starget_of starget))
+            | _ -> ())
+          | _ -> ())
+        t.Rec.Trace.lines;
+      if timeline then print_newline ();
+      let active_links =
+        List.sort compare (Hashtbl.fold (fun l v acc -> (l, v) :: acc) links [])
+      in
+      let active_sensors =
+        List.sort compare (Hashtbl.fold (fun tg v acc -> (tg, v) :: acc) sensors [])
+      in
+      Printf.printf "trace %s (%s, seed %d): %d link fault(s), %d sensor fault(s) active at end\n"
+        file t.Rec.Trace.header.Rec.Trace.label t.Rec.Trace.header.Rec.Trace.seed
+        (List.length active_links) (List.length active_sensors);
+      List.iter
+        (fun (l, (at, f)) ->
+          Printf.printf "  link %-4d since %10.0f ns: %s\n" l at (fault_label f))
+        active_links;
+      List.iter
+        (fun (tg, (at, sf)) ->
+          Printf.printf "  %-12s since %10.0f ns: %s\n"
+            (E.Sensorfault.target_label (starget_of tg))
+            at
+            (E.Sensorfault.describe (sf_of sf)))
+        active_sensors
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "List the link and sensor faults a recorded trace injects — the active sets at end of \
+          trace, with $(b,--timeline) the full chronology.")
+    Term.(const run $ file $ timeline)
+
 let replay_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE") in
   let perturb_at =
@@ -710,6 +813,6 @@ let replay_cmd =
 let main_cmd =
   let doc = "operator tools for the (simulated) manageable intra-host network" in
   Cmd.group (Cmd.info "ihnetctl" ~doc ~version:"1.0.0")
-    [ topo_cmd; ping_cmd; trace_cmd; perf_cmd; dump_cmd; check_cmd; heal_cmd; heartbeat_cmd; monitor_cmd; plan_cmd; report_cmd; scenario_cmd; spec_cmd; record_cmd; replay_cmd ]
+    [ topo_cmd; ping_cmd; trace_cmd; perf_cmd; dump_cmd; check_cmd; heal_cmd; heartbeat_cmd; monitor_cmd; plan_cmd; report_cmd; scenario_cmd; spec_cmd; record_cmd; replay_cmd; faults_cmd ]
 
 let () = exit (guarded (fun () -> Cmd.eval ~catch:false main_cmd))

@@ -14,6 +14,7 @@ type t = {
   mutable heartbeat : M.Heartbeat.t option;
   mutable manager : R.Manager.t option;
   mutable remediation : R.Remediation.t option;
+  mutable evidence : M.Evidence.t option;
 }
 
 let build_topology ?config = function
@@ -40,6 +41,7 @@ let create ?(seed = 42) ?config preset =
     heartbeat = None;
     manager = None;
     remediation = None;
+    evidence = None;
   }
 
 let sim t = t.sim
@@ -92,24 +94,39 @@ let manager t = t.manager
    the host — which sees both layers — plugs heartbeat localization in
    here. Operator-injected faults reach the supervisor directly through
    fabric events; this source is what catches the silent ones. *)
-let enable_remediation t ?config ?(use_heartbeat = true) () =
+let enable_remediation t ?config ?(use_heartbeat = true) ?(use_evidence = false) () =
   match t.remediation with
   | Some r -> r
   | None ->
     let m = enable_manager t () in
     let r = R.Remediation.create ?config m in
+    let ev =
+      if use_evidence then begin
+        let ev = M.Evidence.create t.fabric in
+        t.evidence <- Some ev;
+        Some ev
+      end
+      else None
+    in
     (if use_heartbeat then begin
        let hb = start_heartbeats t () in
        R.Remediation.add_source r ~name:"heartbeat"
          (fun () ->
-           List.map (fun (s : M.Heartbeat.suspect) -> (s.M.Heartbeat.link, s.M.Heartbeat.score))
-             (M.Heartbeat.localize hb))
+           let suspects = M.Heartbeat.localize hb in
+           (* the gate judges coverage-discounted confidence; the raw
+              coverage score still drives case opening *)
+           Option.iter (fun ev -> M.Evidence.feed_heartbeat ev suspects) ev;
+           List.map
+             (fun (s : M.Heartbeat.suspect) -> (s.M.Heartbeat.link, s.M.Heartbeat.score))
+             suspects)
      end);
+    Option.iter (fun ev -> R.Remediation.set_gate r (M.Evidence.gate ev)) ev;
     R.Remediation.start r;
     t.remediation <- Some r;
     r
 
 let remediation t = t.remediation
+let evidence t = t.evidence
 
 let submit_intent t intent =
   let m = enable_manager t () in

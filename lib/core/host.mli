@@ -55,6 +55,7 @@ val enable_remediation :
   t ->
   ?config:Ihnet_manager.Remediation.config ->
   ?use_heartbeat:bool ->
+  ?use_evidence:bool ->
   unit ->
   Ihnet_manager.Remediation.t
 (** Creates the self-healing supervisor (enabling the manager if
@@ -62,9 +63,14 @@ val enable_remediation :
     [use_heartbeat] (default true) it also starts the heartbeat mesh
     and wires {!Ihnet_monitor.Heartbeat.localize} in as a detector
     source, so silent faults — not just operator-injected ones — open
-    remediation cases. Idempotent. *)
+    remediation cases. With [use_evidence] (default false) it creates
+    an {!Ihnet_monitor.Evidence.t} corroboration gate, feeds heartbeat
+    suspects into it, and installs it via
+    {!Ihnet_manager.Remediation.set_gate} — migrations and degradations
+    then require independent-modality agreement. Idempotent. *)
 
 val remediation : t -> Ihnet_manager.Remediation.t option
+val evidence : t -> Ihnet_monitor.Evidence.t option
 
 val submit_intent :
   t -> Ihnet_manager.Intent.t -> (Ihnet_manager.Placement.t list, string) result

@@ -33,6 +33,7 @@ type t = {
   topo : T.Topology.t;
   rng : U.Rng.t;
   faults : Fault.t;
+  sensorfaults : Sensorfault.t;
   mutable cache : Cache.t;
   entries : (int, entry) Hashtbl.t; (* flow id -> entry *)
   mutable next_flow_id : int;
@@ -85,6 +86,8 @@ and event =
   | Batch_started
   | Batch_ended
   | Synced
+  | Sensor_fault_injected of Sensorfault.target * Sensorfault.sensor_fault
+  | Sensor_fault_cleared of Sensorfault.target
 
 let res_of link_id (dir : T.Link.dir) = (2 * link_id) + match dir with T.Link.Fwd -> 0 | T.Link.Rev -> 1
 
@@ -195,6 +198,7 @@ let create ?(seed = 42) sim topo =
       topo;
       rng = U.Rng.create seed;
       faults = Fault.create ();
+      sensorfaults = Sensorfault.create ();
       cache;
       entries = Hashtbl.create 256;
       next_flow_id = 0;
@@ -897,6 +901,29 @@ let clear_all_faults t =
   if t.listeners <> [] then emit t All_faults_cleared
 
 let fault_of t link_id = Fault.get t.faults link_id
+
+(* Sensor faults corrupt only the telemetry path: no capacity changes,
+   no reallocation, no rate movement — epoch-neutral for replay. The
+   events exist so the flight recorder can reproduce the corruption. *)
+let inject_sensor_fault t target f =
+  Sensorfault.inject t.sensorfaults target f;
+  if t.listeners <> [] then emit t (Sensor_fault_injected (target, f))
+
+let clear_sensor_fault t target =
+  Sensorfault.clear t.sensorfaults target;
+  if t.listeners <> [] then emit t (Sensor_fault_cleared target)
+
+let clear_all_sensor_faults t =
+  List.iter (fun (tg, _) -> clear_sensor_fault t tg) (Sensorfault.active t.sensorfaults)
+
+let sensor_fault_of t target = Sensorfault.get t.sensorfaults target
+let sensor_faults t = Sensorfault.active t.sensorfaults
+
+let device_sensor_fault t dev = Sensorfault.get t.sensorfaults (Sensorfault.Device dev)
+
+let link_sensor_fault t link_id =
+  let l = T.Topology.link t.topo link_id in
+  Sensorfault.merge (device_sensor_fault t l.T.Link.a) (device_sensor_fault t l.T.Link.b)
 
 let on_device_links t device f =
   batch t (fun () ->

@@ -116,6 +116,12 @@ type event =
           the current time. Replay re-applies these as {!refresh} so
           integration intervals — and hence float rounding — match the
           recorded run exactly. *)
+  | Sensor_fault_injected of Sensorfault.target * Sensorfault.sensor_fault
+      (** A telemetry-plane fault was installed. Like link faults these
+          are operator actions, so they are announced (and recorded);
+          unlike link faults they never reallocate — only what the
+          monitor {e reads} changes, never what the fabric {e does}. *)
+  | Sensor_fault_cleared of Sensorfault.target
 
 val subscribe : t -> (event -> unit) -> unit
 (** Register a listener for all subsequent events. Listeners run
@@ -194,6 +200,26 @@ val inject_fault : t -> Ihnet_topology.Link.id -> Fault.link_fault -> unit
 val clear_fault : t -> Ihnet_topology.Link.id -> unit
 val clear_all_faults : t -> unit
 val fault_of : t -> Ihnet_topology.Link.id -> Fault.link_fault
+
+val inject_sensor_fault : t -> Sensorfault.target -> Sensorfault.sensor_fault -> unit
+(** Install a telemetry-plane fault (see {!Sensorfault}). Emits
+    {!Sensor_fault_injected} but triggers {e no} reallocation: sensor
+    faults corrupt readings, not rates, so they are epoch-neutral for
+    record/replay digests. *)
+
+val clear_sensor_fault : t -> Sensorfault.target -> unit
+val clear_all_sensor_faults : t -> unit
+
+val sensor_fault_of : t -> Sensorfault.target -> Sensorfault.sensor_fault
+(** {!Sensorfault.none} when the target is healthy. *)
+
+val sensor_faults : t -> (Sensorfault.target * Sensorfault.sensor_fault) list
+
+val device_sensor_fault : t -> Ihnet_topology.Device.id -> Sensorfault.sensor_fault
+
+val link_sensor_fault : t -> Ihnet_topology.Link.id -> Sensorfault.sensor_fault
+(** Merged sensor fault of the link's two endpoint devices — what a
+    hardware counter attached to that link suffers. *)
 
 val flap_link :
   t -> Ihnet_topology.Link.id -> Fault.link_fault -> period:Ihnet_util.Units.ns ->

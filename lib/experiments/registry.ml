@@ -17,6 +17,7 @@ let all =
     ("E15", E15_admission.run);
     ("E16", E16_heartbeat_sizing.run);
     ("E17", E17_remediation.run);
+    ("E18", E18_sensor_trust.run);
     ("A1", Ablations.run_a1);
     ("A2", Ablations.run_a2);
     ("A3", Ablations.run_a3);

@@ -29,7 +29,8 @@ let on_fabric_event t = function
       t.placements
   | Fabric.Flow_started _ | Fabric.Fault_injected _ | Fabric.Fault_cleared _
   | Fabric.Limits_changed _ | Fabric.Config_changed _ | Fabric.Reallocated _
-  | Fabric.All_faults_cleared | Fabric.Batch_started | Fabric.Batch_ended | Fabric.Synced -> ()
+  | Fabric.All_faults_cleared | Fabric.Batch_started | Fabric.Batch_ended | Fabric.Synced
+  | Fabric.Sensor_fault_injected _ | Fabric.Sensor_fault_cleared _ -> ()
 
 let create fabric ?(reaction_delay = 0.0) () =
   assert (reaction_delay >= 0.0);

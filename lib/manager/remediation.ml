@@ -21,6 +21,7 @@ type case = {
   mutable transitions : U.Units.ns list; (* recent fault toggles, newest first *)
   mutable degraded_ids : int list; (* placements whose floor this case shrank *)
   mutable total_actions : int;
+  mutable gate_waits : int; (* consecutive ticks blocked awaiting corroboration *)
 }
 
 type action = {
@@ -28,6 +29,7 @@ type action = {
   action_link : T.Link.id;
   action_stage : stage;
   detail : string;
+  impact : bool; (* true = fabric/placement state changed; false = a note *)
 }
 
 type config = {
@@ -42,6 +44,8 @@ type config = {
   degrade_step : float;
   min_floor_scale : float;
   use_fault_events : bool;
+  migration_budget : float;
+  migration_refill : U.Units.ns;
 }
 
 let default_config =
@@ -57,6 +61,10 @@ let default_config =
     degrade_step = 0.5;
     min_floor_scale = 0.1;
     use_fault_events = true;
+    (* generous by default: the limiter is a thrash backstop, not a
+       brake on ordinary single-fault remediation *)
+    migration_budget = 32.0;
+    migration_refill = U.Units.us 250.0;
   }
 
 type t = {
@@ -69,6 +77,9 @@ type t = {
   mutable running : bool;
   mutable gen : int; (* stamps tick chains so stale ones self-cancel *)
   mutable observers : (action -> unit) list; (* registration order *)
+  mutable gate : (T.Link.id -> [ `Unknown | `Suspected of float | `Corroborated of float ]) option;
+  mutable tokens : float; (* migration token bucket (Replace/Degrade) *)
+  mutable last_refill : U.Units.ns;
 }
 
 (* Same slack the SLO checker grants: absorbs fluid-model rounding. *)
@@ -106,6 +117,7 @@ let open_case t link =
         transitions = [];
         degraded_ids = [];
         total_actions = 0;
+        gate_waits = 0;
       }
     in
     t.cases <- t.cases @ [ c ];
@@ -135,7 +147,8 @@ let on_fabric_event t = function
     | Some c -> c.transitions <- Fabric.now t.fabric :: c.transitions)
   | Fabric.Flow_started _ | Fabric.Flow_completed _ | Fabric.Flow_stopped _
   | Fabric.Limits_changed _ | Fabric.Config_changed _ | Fabric.Reallocated _
-  | Fabric.All_faults_cleared | Fabric.Batch_started | Fabric.Batch_ended | Fabric.Synced -> ()
+  | Fabric.All_faults_cleared | Fabric.Batch_started | Fabric.Batch_ended | Fabric.Synced
+  | Fabric.Sensor_fault_injected _ | Fabric.Sensor_fault_cleared _ -> ()
 
 let create ?(config = default_config) mgr =
   let t =
@@ -149,6 +162,9 @@ let create ?(config = default_config) mgr =
       running = false;
       gen = 0;
       observers = [];
+      gate = None;
+      tokens = config.migration_budget;
+      last_refill = 0.0;
     }
   in
   Fabric.subscribe t.fabric (on_fabric_event t);
@@ -156,12 +172,14 @@ let create ?(config = default_config) mgr =
 
 let add_source t ~name f = t.sources <- t.sources @ [ (name, f) ]
 
+let set_gate t g = t.gate <- Some g
+
 let on_action t f = t.observers <- t.observers @ [ f ]
 
-let record t c detail =
+let record ?(impact = false) t c detail =
   c.total_actions <- c.total_actions + 1;
   let a =
-    { at = Fabric.now t.fabric; action_link = c.link; action_stage = c.stage; detail }
+    { at = Fabric.now t.fabric; action_link = c.link; action_stage = c.stage; detail; impact }
   in
   t.history <- a :: t.history;
   List.iter (fun f -> f a) t.observers
@@ -198,7 +216,7 @@ let restore_degraded t c =
       (Manager.placements t.mgr);
     c.degraded_ids <- [];
     Arbiter.refresh (Manager.arbiter t.mgr);
-    record t c "restored full floors after fault cleared"
+    record ~impact:true t c "restored full floors after fault cleared"
   end
 
 let escalate c =
@@ -211,17 +229,31 @@ let escalate c =
     c.attempts <- 0
   | Degrade -> ()
 
+let status_label = function
+  | Suspected -> "suspected"
+  | Remediating -> "remediating"
+  | Held_down -> "held-down"
+  | Resolved -> "resolved"
+  | Exhausted -> "exhausted"
+
+let stage_label = function
+  | Rearbitrate -> "re-arbitrate"
+  | Replace -> "re-place"
+  | Degrade -> "degrade"
+
 let act t c vs =
   (match c.stage with
   | Rearbitrate ->
     Arbiter.refresh (Manager.arbiter t.mgr);
-    record t c
+    record ~impact:true t c
       (Printf.sprintf "re-arbitrated floors/caps for %d victim placement(s)" (List.length vs))
   | Replace ->
     List.iter
       (fun (p : Placement.t) ->
         match Manager.replace_placement t.mgr ~avoid:[ c.link ] p with
-        | Ok _ -> record t c (Printf.sprintf "re-placed t%d onto alternate path" p.Placement.tenant)
+        | Ok _ ->
+          record ~impact:true t c
+            (Printf.sprintf "re-placed t%d onto alternate path" p.Placement.tenant)
         | Error why -> record t c (Printf.sprintf "re-place t%d failed: %s" p.Placement.tenant why))
       vs
   | Degrade ->
@@ -234,7 +266,7 @@ let act t c vs =
           p.Placement.floor_scale <- scale;
           if not (List.mem p.Placement.id c.degraded_ids) then
             c.degraded_ids <- p.Placement.id :: c.degraded_ids;
-          record t c
+          record ~impact:true t c
             (Printf.sprintf "degraded t%d floor to %.0f%% (explicit verdict)" p.Placement.tenant
                (scale *. 100.0))
         end)
@@ -242,6 +274,50 @@ let act t c vs =
     Arbiter.refresh (Manager.arbiter t.mgr));
   c.attempts <- c.attempts + 1;
   c.next_due <- Fabric.now t.fabric +. backoff t c
+
+(* Deterministic token bucket in simulated time: Replace/Degrade each
+   burn one token; refill is linear up to the budget. Bounds migrations
+   per window even when a corroborated quorum is itself lying. *)
+let take_token t =
+  let now = Fabric.now t.fabric in
+  let dt = now -. t.last_refill in
+  if dt > 0.0 then begin
+    t.tokens <- Float.min t.config.migration_budget (t.tokens +. (dt /. t.config.migration_refill));
+    t.last_refill <- now
+  end;
+  if t.tokens >= 1.0 then begin
+    t.tokens <- t.tokens -. 1.0;
+    true
+  end
+  else false
+
+(* The evidence gate. Re-arbitration is cheap and reversible, so
+   single-source suspicion suffices; migration and explicit degradation
+   move real state and require a corroborated verdict. No gate wired =
+   every verdict corroborated (exact pre-gate behaviour). *)
+let gate_verdict t c =
+  match t.gate with
+  | None -> `Corroborated 1.0
+  | Some g -> (
+    match c.stage with Rearbitrate -> `Corroborated 1.0 | Replace | Degrade -> g c.link)
+
+let attempt t c vs =
+  match gate_verdict t c with
+  | `Unknown | `Suspected _ ->
+    if c.gate_waits = 0 then
+      record t c
+        ("awaiting corroboration before " ^ stage_label c.stage ^ " (single-source suspicion)");
+    c.gate_waits <- c.gate_waits + 1;
+    c.next_due <- Fabric.now t.fabric +. t.config.period
+  | `Corroborated _ ->
+    if (c.stage = Replace || c.stage = Degrade) && not (take_token t) then begin
+      record t c "migration rate limit: token bucket empty, deferring";
+      c.next_due <- Fabric.now t.fabric +. t.config.migration_refill
+    end
+    else begin
+      c.gate_waits <- 0;
+      act t c vs
+    end
 
 let step_case t c =
   let now = Fabric.now t.fabric in
@@ -274,10 +350,10 @@ let step_case t c =
         | vs ->
           c.status <- Remediating;
           if now >= c.next_due then
-            if c.attempts < t.config.max_attempts then act t c vs
+            if c.attempts < t.config.max_attempts then attempt t c vs
             else if c.stage <> Degrade then begin
               escalate c;
-              act t c vs
+              attempt t c vs
             end
             else if
               (* the last stage keeps shrinking past its attempt budget
@@ -287,7 +363,7 @@ let step_case t c =
                 (fun (p : Placement.t) ->
                   p.Placement.floor_scale > t.config.min_floor_scale +. 1e-9)
                 vs
-            then act t c vs
+            then attempt t c vs
             else begin
               c.status <- Exhausted;
               record t c "escalation exhausted: minimum floors still unmet"
@@ -355,18 +431,6 @@ let time_to_recover t link =
   match case_for t link with
   | Some c -> Option.map (fun r -> r -. c.detected_at) c.recovered_at
   | None -> None
-
-let status_label = function
-  | Suspected -> "suspected"
-  | Remediating -> "remediating"
-  | Held_down -> "held-down"
-  | Resolved -> "resolved"
-  | Exhausted -> "exhausted"
-
-let stage_label = function
-  | Rearbitrate -> "re-arbitrate"
-  | Replace -> "re-place"
-  | Degrade -> "degrade"
 
 let pp_status ppf t =
   Format.fprintf ppf "remediation: %d case(s), %d action(s)@." (List.length t.cases)

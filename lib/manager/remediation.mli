@@ -53,6 +53,9 @@ type case = {
       (** Placement ids whose floor this case shrank (restored on
           clear). *)
   mutable total_actions : int;
+  mutable gate_waits : int;
+      (** Consecutive ticks this case has been blocked by the evidence
+          gate awaiting corroboration; reset when an action lands. *)
 }
 
 type action = {
@@ -60,6 +63,12 @@ type action = {
   action_link : Ihnet_topology.Link.id;
   action_stage : stage;
   detail : string;
+  impact : bool;
+      (** [true]: the action changed fabric or placement state
+          (re-arbitrated, migrated, degraded, restored). [false]: a
+          bookkeeping note (suspicion, flap damping, awaiting
+          corroboration, rate limiting, exhaustion). False-migration
+          accounting counts impactful [Replace]/[Degrade] actions. *)
 }
 
 type config = {
@@ -78,6 +87,13 @@ type config = {
           Disable to rely purely on {!add_source} detectors — how a
           genuinely silent fault plays out; announced toggles then only
           feed flap damping of already-open cases. *)
+  migration_budget : float;
+      (** Token-bucket size for [Replace]/[Degrade] actions; each burns
+          one token. Bounds migrations per window so even a confidently
+          lying corroborated verdict cannot thrash the fabric. *)
+  migration_refill : Ihnet_util.Units.ns;
+      (** Simulated time to regain one token (linear refill up to the
+          budget). *)
 }
 
 val default_config : config
@@ -92,6 +108,16 @@ val add_source : t -> name:string -> (unit -> (Ihnet_topology.Link.id * float) l
 (** Register a detector polled every tick: returns suspect links with
     confidence scores in [\[0,1\]]. The host wires heartbeat
     localization (and any other monitor verdict) through this. *)
+
+val set_gate :
+  t -> (Ihnet_topology.Link.id -> [ `Unknown | `Suspected of float | `Corroborated of float ]) -> unit
+(** Install the evidence gate. [Rearbitrate] (cheap, reversible)
+    proceeds on any suspicion; [Replace] and [Degrade] are attempted
+    only on a [`Corroborated] verdict — otherwise the case waits,
+    without consuming attempts or escalating. The gate is a plain
+    closure (the host passes {!Ihnet_monitor.Evidence.gate}) so this
+    library stays independent of the monitor. Without a gate every
+    verdict counts as corroborated — exact pre-gate behaviour. *)
 
 val start : t -> unit
 (** Begin the detect → diagnose → act loop (idempotent). *)

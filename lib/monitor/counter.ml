@@ -1,5 +1,6 @@
 module Fabric = Ihnet_engine.Fabric
 module Flow = Ihnet_engine.Flow
+module Sensorfault = Ihnet_engine.Sensorfault
 module T = Ihnet_topology
 
 type fidelity = Hardware of { max_read_hz : float } | Software | Oracle
@@ -18,6 +19,10 @@ type t = {
   noise : float;
   rng : Ihnet_util.Rng.t;
   cache : (int, reading) Hashtbl.t; (* resource -> last reading (Hardware rate limit) *)
+  frozen : (int, reading) Hashtbl.t; (* resource -> reading a stuck counter froze at *)
+  last_seen : (int, float * float) Hashtbl.t; (* resource -> (at, wire_bytes) as reported *)
+  runs : (int, int) Hashtbl.t; (* resource -> consecutive zero-delta reads under load *)
+  unhealthy : (T.Link.id * [ `Flatline | `Out_of_range ], unit) Hashtbl.t;
   mutable reads : int;
 }
 
@@ -29,6 +34,10 @@ let create ?(noise = 0.0) fabric ~fidelity =
     noise;
     rng = Ihnet_util.Rng.split (Fabric.rng fabric);
     cache = Hashtbl.create 64;
+    frozen = Hashtbl.create 8;
+    last_seen = Hashtbl.create 64;
+    runs = Hashtbl.create 64;
+    unhealthy = Hashtbl.create 8;
     reads = 0;
   }
 
@@ -69,19 +78,77 @@ let fresh_reading t link_id dir ~tenants =
   in
   { at = Fabric.now t.fabric; wire_bytes; utilization; per_tenant; induced_bytes }
 
+(* Device-scoped sensor faults corrupt every counter of links incident
+   to the faulted device. Applied on top of the (true) cached reading,
+   so clearing the fault immediately restores honest values. *)
+let corrupt t link_id dir (r : reading) =
+  let sf = Fabric.link_sensor_fault t.fabric link_id in
+  if Sensorfault.is_none sf then r
+  else begin
+    let r =
+      if sf.Sensorfault.stuck then (
+        let key = res_key link_id dir in
+        match Hashtbl.find_opt t.frozen key with
+        | Some fr -> { fr with at = r.at } (* value froze; the read clock did not *)
+        | None ->
+          Hashtbl.add t.frozen key r;
+          r)
+      else r
+    in
+    let d = sf.Sensorfault.drift in
+    if d = 1.0 then r
+    else
+      {
+        r with
+        wire_bytes = r.wire_bytes *. d;
+        utilization = Float.min 1.0 (r.utilization *. d);
+        per_tenant = List.map (fun (tn, b) -> (tn, b *. d)) r.per_tenant;
+        induced_bytes = r.induced_bytes *. d;
+      }
+  end
+
+(* Plausibility checks over what the counter *reported* (post-fault):
+   a link cannot move more bytes than nominal capacity x elapsed time,
+   and a loaded link cannot move none at all for several reads. *)
+let observe_health t link_id dir (r : reading) =
+  let key = res_key link_id dir in
+  (match Hashtbl.find_opt t.last_seen key with
+  | Some (prev_at, prev_bytes) when r.at > prev_at ->
+    let dt_s = (r.at -. prev_at) /. 1e9 in
+    let delta = r.wire_bytes -. prev_bytes in
+    let nominal = (T.Topology.link (Fabric.topology t.fabric) link_id).T.Link.capacity in
+    if delta > (nominal *. dt_s *. 1.05) +. 1.0 || delta < 0.0 then
+      Hashtbl.replace t.unhealthy (link_id, `Out_of_range) ();
+    if delta = 0.0 && r.utilization >= 0.02 then begin
+      let run = (match Hashtbl.find_opt t.runs key with Some n -> n | None -> 0) + 1 in
+      Hashtbl.replace t.runs key run;
+      if run >= 3 then Hashtbl.replace t.unhealthy (link_id, `Flatline) ()
+    end
+    else Hashtbl.replace t.runs key 0
+  | _ -> ());
+  Hashtbl.replace t.last_seen key (r.at, r.wire_bytes)
+
 let read t link_id dir ~tenants =
   t.reads <- t.reads + 1;
-  match t.fidelity with
-  | Software | Oracle -> fresh_reading t link_id dir ~tenants
-  | Hardware { max_read_hz } -> (
-    let key = res_key link_id dir in
-    let min_interval = 1e9 /. max_read_hz in
-    match Hashtbl.find_opt t.cache key with
-    | Some prev when Fabric.now t.fabric -. prev.at < min_interval -> prev
-    | Some _ | None ->
-      let r = fresh_reading t link_id dir ~tenants in
-      Hashtbl.replace t.cache key r;
-      r)
+  let raw =
+    match t.fidelity with
+    | Software | Oracle -> fresh_reading t link_id dir ~tenants
+    | Hardware { max_read_hz } -> (
+      let key = res_key link_id dir in
+      let min_interval = 1e9 /. max_read_hz in
+      match Hashtbl.find_opt t.cache key with
+      | Some prev when Fabric.now t.fabric -. prev.at < min_interval -> prev
+      | Some _ | None ->
+        let r = fresh_reading t link_id dir ~tenants in
+        Hashtbl.replace t.cache key r;
+        r)
+  in
+  let r = corrupt t link_id dir raw in
+  observe_health t link_id dir r;
+  r
+
+let health t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.unhealthy [] |> List.sort_uniq compare
 
 let ddio_hit_rate t ~socket =
   match t.fidelity with

@@ -59,3 +59,13 @@ val ddio_hit_rate : t -> socket:int -> float option
 
 val reads_issued : t -> int
 (** Total counter reads issued (for overhead accounting). *)
+
+val health : t -> (Ihnet_topology.Link.id * [ `Flatline | `Out_of_range ]) list
+(** Links whose {e reported} readings have ever violated a plausibility
+    bound, sorted and deduplicated. [`Out_of_range]: a byte delta
+    exceeding nominal capacity x elapsed time (or going backwards) —
+    only an over-reading (drifting/duplicated) sensor can produce it.
+    [`Flatline]: three consecutive reads with zero byte delta while the
+    same counter claims >= 2% utilization — a stuck sensor. Both checks
+    run on what the counter {e returned}, never on fabric internals, so
+    they are legitimate monitor-side self-diagnostics. *)

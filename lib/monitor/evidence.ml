@@ -1,0 +1,128 @@
+module Fabric = Ihnet_engine.Fabric
+module T = Ihnet_topology
+module U = Ihnet_util
+
+type modality = Operator | Heartbeat | Counter | Anomaly
+
+let modality_label = function
+  | Operator -> "operator"
+  | Heartbeat -> "heartbeat"
+  | Counter -> "counter"
+  | Anomaly -> "anomaly"
+
+type config = {
+  window : U.Units.ns;
+  quorum : int;
+  min_score : float;
+  trusted : modality list;
+}
+
+let default_config () =
+  { window = U.Units.ms 5.0; quorum = 2; min_score = 0.25; trusted = [ Operator ] }
+
+type t = {
+  fabric : Fabric.t;
+  config : config;
+  (* at most one live report per (link, modality): a detector updates
+     its opinion, it does not accumulate votes with itself *)
+  reports : (T.Link.id, (modality * float * U.Units.ns) list) Hashtbl.t;
+}
+
+let report t ~modality ~link ~score =
+  let score = Float.max 0.0 (Float.min 1.0 score) in
+  let now = Fabric.now t.fabric in
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.reports link) in
+  let cur = List.filter (fun (m, _, _) -> m <> modality) cur in
+  Hashtbl.replace t.reports link ((modality, score, now) :: cur)
+
+let invalidate t ~modality ~link =
+  match Hashtbl.find_opt t.reports link with
+  | None -> ()
+  | Some cur -> (
+    match List.filter (fun (m, _, _) -> m <> modality) cur with
+    | [] -> Hashtbl.remove t.reports link
+    | rest -> Hashtbl.replace t.reports link rest)
+
+let invalidate_everywhere t ~modality =
+  Hashtbl.fold (fun link _ acc -> link :: acc) t.reports []
+  |> List.iter (fun link -> invalidate t ~modality ~link)
+
+let create ?(config = default_config ()) fabric =
+  if config.quorum < 1 then invalid_arg "Evidence.create: quorum must be >= 1";
+  if config.window <= 0.0 then invalid_arg "Evidence.create: window must be positive";
+  let t = { fabric; config; reports = Hashtbl.create 16 } in
+  (* operator-injected faults are first-party evidence; genuinely
+     silent degradations never surface here — detectors must earn them *)
+  Fabric.subscribe fabric (function
+    | Fabric.Fault_injected (link, _) -> report t ~modality:Operator ~link ~score:1.0
+    | Fabric.Fault_cleared link -> invalidate t ~modality:Operator ~link
+    | Fabric.All_faults_cleared -> invalidate_everywhere t ~modality:Operator
+    | _ -> ());
+  t
+
+let feed_heartbeat t suspects =
+  List.iter
+    (fun (s : Heartbeat.suspect) ->
+      report t ~modality:Heartbeat ~link:s.Heartbeat.link ~score:s.Heartbeat.confidence)
+    suspects
+
+(* "link.<id>." prefix of sampler series names *)
+let link_of_series s =
+  if String.length s > 5 && String.sub s 0 5 = "link." then begin
+    let rest = String.sub s 5 (String.length s - 5) in
+    match String.index_opt rest '.' with
+    | Some i -> int_of_string_opt (String.sub rest 0 i)
+    | None -> None
+  end
+  else None
+
+let feed_anomaly ?(score = 0.9) t alarms =
+  List.iter
+    (fun (a : Anomaly.alarm) ->
+      match link_of_series a.Anomaly.series with
+      | Some link -> report t ~modality:Anomaly ~link ~score
+      | None -> ())
+    alarms
+
+let live t link =
+  let now = Fabric.now t.fabric in
+  match Hashtbl.find_opt t.reports link with
+  | None -> []
+  | Some cur -> (
+    match List.filter (fun (_, _, at) -> now -. at <= t.config.window) cur with
+    | [] ->
+      Hashtbl.remove t.reports link;
+      []
+    | live ->
+      if List.compare_lengths live cur < 0 then Hashtbl.replace t.reports link live;
+      live)
+
+(* independent detectors: combined belief is noisy-OR *)
+let combined entries =
+  1.0 -. List.fold_left (fun acc (_, s, _) -> acc *. (1.0 -. s)) 1.0 entries
+
+let verdict t link =
+  match live t link with
+  | [] -> `Unknown
+  | entries ->
+    let conf = combined entries in
+    let strong = List.filter (fun (_, s, _) -> s >= t.config.min_score) entries in
+    let mods = List.sort_uniq compare (List.map (fun (m, _, _) -> m) strong) in
+    if
+      List.exists (fun m -> List.mem m t.config.trusted) mods
+      || List.length mods >= t.config.quorum
+    then `Corroborated conf
+    else `Suspected conf
+
+let gate t link = verdict t link
+
+let suspects t =
+  Hashtbl.fold (fun link _ acc -> link :: acc) t.reports []
+  |> List.sort_uniq compare
+  |> List.filter_map (fun link ->
+         match verdict t link with
+         | `Unknown -> None
+         | `Suspected c | `Corroborated c -> Some (link, c))
+
+let report_count t =
+  Hashtbl.fold (fun link _ acc -> acc + List.length (live t link)) t.reports 0

@@ -1,6 +1,7 @@
 module Fabric = Ihnet_engine.Fabric
 module Flow = Ihnet_engine.Flow
 module Sim = Ihnet_engine.Sim
+module Sensorfault = Ihnet_engine.Sensorfault
 module T = Ihnet_topology
 module U = Ihnet_util
 
@@ -21,7 +22,13 @@ type probe_result = {
   outcome : [ `Ok of U.Units.ns | `Slow of U.Units.ns | `Lost ];
 }
 
-type suspect = { link : T.Link.id; bad_paths_covered : int; score : float }
+type suspect = {
+  link : T.Link.id;
+  bad_paths_covered : int;
+  score : float;
+  paths_crossing : int;
+  confidence : float;
+}
 
 type pair = {
   p_src : T.Device.id;
@@ -31,6 +38,11 @@ type pair = {
   mutable load_flow : Flow.t option;
 }
 
+(* confidence horizon: a suspect's confidence is the failed fraction of
+   probes crossing it over this many recent rounds, so one unlucky
+   blackout round is discounted by the healthy crossings around it *)
+let history_rounds = 8
+
 type t = {
   fabric : Fabric.t;
   config : config;
@@ -38,6 +50,7 @@ type t = {
   rng : U.Rng.t;
   mutable rounds : int;
   mutable last_round : probe_result list;
+  mutable history : probe_result list list;
   mutable first_detection : U.Units.ns option;
   mutable stopped : bool;
 }
@@ -85,6 +98,23 @@ let rec round t _sim =
               end
             end
           in
+          (* a corrupted probe agent at either endpoint falsifies the
+             verdict; RNG drawn from only when a fault is present, so
+             fault-free runs are bit-identical *)
+          let sf =
+            Sensorfault.merge
+              (Fabric.device_sensor_fault t.fabric pair.p_src)
+              (Fabric.device_sensor_fault t.fabric pair.p_dst)
+          in
+          let outcome =
+            if sf.Sensorfault.probe_loss = 0.0 && sf.Sensorfault.probe_slow = 0.0 then outcome
+            else if U.Rng.float t.rng 1.0 < sf.Sensorfault.probe_loss then `Lost
+            else if U.Rng.float t.rng 1.0 < sf.Sensorfault.probe_slow then (
+              match outcome with
+              | `Ok s -> `Slow (s *. (t.config.rtt_factor +. 1.0))
+              | o -> o)
+            else outcome
+          in
           (match outcome with
           | (`Lost | `Slow _) when t.rounds >= t.config.warmup_rounds ->
             if t.first_detection = None then t.first_detection <- Some now
@@ -93,6 +123,12 @@ let rec round t _sim =
         t.pairs
     in
     t.last_round <- results;
+    let rec take n = function
+      | [] -> []
+      | _ when n <= 0 -> []
+      | x :: tl -> x :: take (n - 1) tl
+    in
+    t.history <- results :: take (history_rounds - 1) t.history;
     t.rounds <- t.rounds + 1;
     Sim.schedule (Fabric.sim t.fabric) ~after:t.config.period (round t)
   end
@@ -138,6 +174,7 @@ let start fabric ?(config = default_config ()) ?devices () =
       rng = U.Rng.split (Fabric.rng fabric);
       rounds = 0;
       last_round = [];
+      history = [];
       first_detection = None;
       stopped = false;
     }
@@ -179,10 +216,18 @@ let localize t =
   in
   if bad = [] then []
   else begin
+    let links_memo = Hashtbl.create 64 in
     let links_of src dst =
-      match path_of t src dst with
-      | Some p -> List.map (fun (l : T.Link.t) -> l.T.Link.id) (T.Path.links p)
-      | None -> []
+      match Hashtbl.find_opt links_memo (src, dst) with
+      | Some ls -> ls
+      | None ->
+        let ls =
+          match path_of t src dst with
+          | Some p -> List.map (fun (l : T.Link.t) -> l.T.Link.id) (T.Path.links p)
+          | None -> []
+        in
+        Hashtbl.add links_memo (src, dst) ls;
+        ls
     in
     let exonerated = Hashtbl.create 32 in
     List.iter
@@ -190,6 +235,31 @@ let localize t =
       good;
     let bad_paths = List.map (fun r -> links_of r.src r.dst) bad in
     let total_bad = List.length bad_paths in
+    (* coverage-discounted confidence: the failed fraction of every
+       probe crossing the link over the recent history window. A
+       genuinely dead link fails all of them (confidence -> 1 within
+       [history_rounds]); a randomly lossy probe agent only produces a
+       suspect on a blackout round, and the healthy crossings in the
+       rounds around it pull confidence down toward the loss rate. *)
+    let hist = List.concat t.history in
+    let hist_crossing link =
+      List.fold_left
+        (fun (cross, failed) r ->
+          if List.mem link (links_of r.src r.dst) then
+            (cross + 1, if is_failure r.outcome then failed + 1 else failed)
+          else (cross, failed))
+        (0, 0) hist
+    in
+    let mk link c =
+      let cross, failed = hist_crossing link in
+      {
+        link;
+        bad_paths_covered = c;
+        score = float_of_int c /. float_of_int total_bad;
+        paths_crossing = cross;
+        confidence = float_of_int failed /. float_of_int (max 1 cross);
+      }
+    in
     (* greedy set cover over non-exonerated links *)
     let candidates =
       List.concat bad_paths
@@ -219,19 +289,11 @@ let localize t =
     done;
     (* score every candidate by raw coverage, greedy picks first *)
     let coverage link = List.length (List.filter (List.mem link) bad_paths) in
-    let greedy =
-      List.rev_map
-        (fun (link, _) ->
-          let c = coverage link in
-          { link; bad_paths_covered = c; score = float_of_int c /. float_of_int total_bad })
-        !picked
-    in
+    let greedy = List.rev_map (fun (link, _) -> mk link (coverage link)) !picked in
     let rest =
       candidates
       |> List.filter (fun l -> not (List.mem_assoc l !picked))
-      |> List.map (fun link ->
-             let c = coverage link in
-             { link; bad_paths_covered = c; score = float_of_int c /. float_of_int total_bad })
+      |> List.map (fun link -> mk link (coverage link))
     in
     List.sort (fun a b -> compare b.score a.score) (greedy @ rest)
   end

@@ -33,6 +33,17 @@ type suspect = {
   link : Ihnet_topology.Link.id;
   bad_paths_covered : int;  (** Failing probe paths crossing this link. *)
   score : float;  (** Coverage fraction, 1.0 = explains every failure. *)
+  paths_crossing : int;
+      (** All probes over this link in the recent history window
+          (last 8 rounds), any outcome. *)
+  confidence : float;
+      (** Failed fraction of [paths_crossing] — how much suspicion
+          survives when the healthy crossings around a blackout round
+          are counted. A dead link fails everything crossing it, so
+          confidence converges to 1.0 within the window; a randomly
+          lossy probe agent only surfaces on an all-paths-fail round,
+          and confidence stays near its loss rate, well below 1. The
+          evidence gate reads this, not [score]. *)
 }
 
 type t

@@ -1,6 +1,7 @@
 module Fabric = Ihnet_engine.Fabric
 module Flow = Ihnet_engine.Flow
 module Sim = Ihnet_engine.Sim
+module Sensorfault = Ihnet_engine.Sensorfault
 module T = Ihnet_topology
 module U = Ihnet_util
 
@@ -30,6 +31,8 @@ type t = {
   config : config;
   counter : Counter.t;
   telemetry : Telemetry.t;
+  rng : Ihnet_util.Rng.t; (* drawn from ONLY while a sensor fault is active *)
+  held : (string, float) Hashtbl.t; (* stuck series -> frozen value *)
   mutable ship_flows : Flow.t list;
   mutable ticks : int;
   mutable cpu : float;
@@ -87,6 +90,33 @@ let setup_shipping t =
           sources
     end
 
+(* Every sample funnels through here so a [Series]-scoped sensor fault
+   can corrupt it. The healthy path is a plain record — no RNG draws,
+   no table lookups beyond one hashtable probe — so fault-free runs
+   stay bit-identical to a build without sensor faults. *)
+let put t ~series ~at value =
+  let sf = Fabric.sensor_fault_of t.fabric (Sensorfault.Series series) in
+  if Sensorfault.is_none sf then Telemetry.record t.telemetry ~series ~at value
+  else begin
+    let at = at +. sf.Sensorfault.skew in
+    let value =
+      if sf.Sensorfault.stuck then (
+        match Hashtbl.find_opt t.held series with
+        | Some v -> v
+        | None ->
+          Hashtbl.add t.held series value;
+          value)
+      else value
+    in
+    let value = value *. sf.Sensorfault.drift in
+    if U.Rng.float t.rng 1.0 < sf.Sensorfault.drop_prob then ()
+    else begin
+      Telemetry.record t.telemetry ~series ~at value;
+      if U.Rng.float t.rng 1.0 < sf.Sensorfault.dup_prob then
+        Telemetry.record t.telemetry ~series ~at value
+    end
+  end
+
 let rec tick t _sim =
   if not t.stopped then begin
     let topo = Fabric.topology t.fabric in
@@ -96,22 +126,18 @@ let rec tick t _sim =
         List.iter
           (fun dir ->
             let r = Counter.read t.counter l.T.Link.id dir ~tenants:t.config.tenants in
-            Telemetry.record t.telemetry ~series:(util_series l.T.Link.id dir) ~at:now
-              r.Counter.utilization;
-            Telemetry.record t.telemetry ~series:(bytes_series l.T.Link.id dir) ~at:now
-              r.Counter.wire_bytes;
+            put t ~series:(util_series l.T.Link.id dir) ~at:now r.Counter.utilization;
+            put t ~series:(bytes_series l.T.Link.id dir) ~at:now r.Counter.wire_bytes;
             List.iter
               (fun (tn, b) ->
-                Telemetry.record t.telemetry
-                  ~series:(tenant_series l.T.Link.id dir ~tenant:tn)
-                  ~at:now b)
+                put t ~series:(tenant_series l.T.Link.id dir ~tenant:tn) ~at:now b)
               r.Counter.per_tenant)
           [ T.Link.Fwd; T.Link.Rev ])
       (T.Topology.links topo);
     List.iter
       (fun s ->
         match Counter.ddio_hit_rate t.counter ~socket:s with
-        | Some h -> Telemetry.record t.telemetry ~series:(ddio_series ~socket:s) ~at:now h
+        | Some h -> put t ~series:(ddio_series ~socket:s) ~at:now h
         | None -> ())
       (sockets_of topo);
     t.ticks <- t.ticks + 1;
@@ -130,6 +156,11 @@ let start fabric ?telemetry config =
       config;
       counter = Counter.create ~noise:config.noise fabric ~fidelity:config.fidelity;
       telemetry = (match telemetry with Some tm -> tm | None -> Telemetry.create ());
+      (* split off a COPY: deriving from the shared stream directly
+         would advance it and perturb every later consumer's draws
+         (heartbeat streams etc.) even in fault-free runs *)
+      rng = U.Rng.split (U.Rng.copy (Fabric.rng fabric));
+      held = Hashtbl.create 8;
       ship_flows = [];
       ticks = 0;
       cpu = 0.0;
@@ -154,6 +185,56 @@ let cpu_time_consumed t = t.cpu
 
 let shipping_rate t =
   List.fold_left (fun acc (f : Flow.t) -> acc +. f.Flow.rate) 0.0 t.ship_flows
+
+(* Series-level plausibility: same physics as {!Counter.health} but
+   judged over the retained telemetry, so it also catches corruption
+   introduced between the counter and the store (the sampler's own
+   sensor faults). Computed on demand — ticks stay cheap. *)
+let health t =
+  let topo = Fabric.topology t.fabric in
+  let found = ref [] in
+  List.iter
+    (fun (l : T.Link.t) ->
+      List.iter
+        (fun dir ->
+          let id = l.T.Link.id in
+          let bytes =
+            Telemetry.window t.telemetry ~series:(bytes_series id dir) ~since:neg_infinity
+          in
+          let nominal = l.T.Link.capacity in
+          let rec out_of_range = function
+            | (a : Telemetry.sample) :: (b :: _ as rest) ->
+              let dt_s = (b.Telemetry.at -. a.Telemetry.at) /. 1e9 in
+              if
+                dt_s > 0.0
+                && b.Telemetry.value -. a.Telemetry.value > (nominal *. dt_s *. 1.05) +. 1.0
+              then true
+              else out_of_range rest
+            | _ -> false
+          in
+          let flatline =
+            match List.rev bytes with
+            | c :: b :: a :: _
+              when c.Telemetry.value = b.Telemetry.value
+                   && b.Telemetry.value = a.Telemetry.value ->
+              (* constant bytes are only suspicious while the link shows load *)
+              let utils = Telemetry.values t.telemetry ~series:(util_series id dir) in
+              let n = Array.length utils in
+              let k = min 3 n in
+              k > 0
+              &&
+              let s = ref 0.0 in
+              for i = n - k to n - 1 do
+                s := !s +. utils.(i)
+              done;
+              !s /. float_of_int k > 0.02
+            | _ -> false
+          in
+          if out_of_range bytes then found := (id, dir, `Out_of_range) :: !found;
+          if flatline then found := (id, dir, `Flatline) :: !found)
+        [ T.Link.Fwd; T.Link.Rev ])
+    (T.Topology.links topo);
+  List.sort_uniq compare !found
 
 let monitoring_wire_bytes t =
   let topo = Fabric.topology t.fabric in

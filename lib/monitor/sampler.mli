@@ -51,6 +51,17 @@ val monitoring_wire_bytes : t -> float
 (** Cumulative fabric bytes consumed by [Monitoring]-class traffic —
     the monitor's own footprint on the network it watches. *)
 
+val health :
+  t ->
+  (Ihnet_topology.Link.id * Ihnet_topology.Link.dir * [ `Flatline | `Out_of_range ]) list
+(** Per-(link, dir) plausibility verdicts over the retained telemetry,
+    computed on demand. [`Out_of_range]: some consecutive byte-counter
+    delta exceeds nominal capacity x elapsed time (physically
+    impossible — an over-reporting sensor). [`Flatline]: the last three
+    byte samples are identical while the utilization series shows load
+    (a stuck sensor). Judged purely on stored samples, so corruption
+    injected anywhere between counter and store is caught. *)
+
 (** {1 Series naming} *)
 
 val util_series : Ihnet_topology.Link.id -> Ihnet_topology.Link.dir -> string

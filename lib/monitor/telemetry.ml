@@ -48,6 +48,19 @@ let rate_of_change t ~series =
       if dt <= 0.0 then None else Some ((b.value -. a.value) /. (dt /. 1e9))
     end
 
+let last_update t ~series =
+  match Hashtbl.find_opt t.series series with
+  | None -> None
+  | Some r ->
+    (* rings hold insertion order; skew can reorder timestamps, so the
+       freshest sample is the max over retained [at]s, not the newest *)
+    Ring.to_list r |> List.fold_left (fun acc s -> match acc with
+        | Some m when m >= s.at -> acc
+        | _ -> Some s.at) None
+
+let staleness t ~series ~now =
+  match last_update t ~series with None -> None | Some at -> Some (Float.max 0.0 (now -. at))
+
 let to_csv ?series t =
   let names = match series with Some ns -> ns | None -> series_names t in
   let buf = Buffer.create 1024 in

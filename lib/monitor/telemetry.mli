@@ -28,6 +28,17 @@ val rate_of_change : t -> series:string -> float option
     cumulative byte counter into bytes/s). [None] with fewer than two
     samples or zero time delta. *)
 
+val last_update : t -> series:string -> Ihnet_util.Units.ns option
+(** Timestamp of the freshest retained sample (max over [at], robust to
+    clock-skewed out-of-order arrival); [None] for an empty/unknown
+    series. *)
+
+val staleness : t -> series:string -> now:Ihnet_util.Units.ns -> Ihnet_util.Units.ns option
+(** [now - last_update], clamped at 0 — the per-series validity signal
+    consumers check before trusting a reading. [None] when the series
+    has never produced a sample (which callers should treat as the
+    {e most} stale). *)
+
 val dropped_samples : t -> int
 (** Total samples lost to ring-buffer overwrite, across series. *)
 

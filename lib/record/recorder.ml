@@ -82,6 +82,21 @@ let fault_of (f : E.Fault.link_fault) : Trace.fault =
     loss_prob = f.E.Fault.loss_prob;
   }
 
+let starget_of : E.Sensorfault.target -> Trace.starget = function
+  | E.Sensorfault.Device d -> Trace.Sf_device d
+  | E.Sensorfault.Series s -> Trace.Sf_series s
+
+let sensor_fault_of (f : E.Sensorfault.sensor_fault) : Trace.sensor_fault =
+  {
+    sf_stuck = f.E.Sensorfault.stuck;
+    sf_drift = f.E.Sensorfault.drift;
+    sf_drop = f.E.Sensorfault.drop_prob;
+    sf_dup = f.E.Sensorfault.dup_prob;
+    sf_skew = f.E.Sensorfault.skew;
+    sf_probe_loss = f.E.Sensorfault.probe_loss;
+    sf_probe_slow = f.E.Sensorfault.probe_slow;
+  }
+
 let on_event t ev =
   if t.active then
     match (ev : E.Fabric.event) with
@@ -115,6 +130,17 @@ let on_event t ev =
       put t (Trace.Op { at = now t; op = Trace.Clear_all_faults })
     | E.Fabric.Config_changed c ->
       put t (Trace.Op { at = now t; op = Trace.Set_config (Trace.config_of_host c) })
+    | E.Fabric.Sensor_fault_injected (target, sf) ->
+      put t
+        (Trace.Op
+           {
+             at = now t;
+             op =
+               Trace.Inject_sensor_fault
+                 { starget = starget_of target; sf = sensor_fault_of sf };
+           })
+    | E.Fabric.Sensor_fault_cleared target ->
+      put t (Trace.Op { at = now t; op = Trace.Clear_sensor_fault (starget_of target) })
     | E.Fabric.Synced -> put t (Trace.Op { at = now t; op = Trace.Sync })
     | E.Fabric.Batch_started -> put t (Trace.Op { at = now t; op = Trace.Batch_start })
     | E.Fabric.Batch_ended -> put t (Trace.Op { at = now t; op = Trace.Batch_end })

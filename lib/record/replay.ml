@@ -167,6 +167,10 @@ let check_completion st (f : E.Flow.t) =
 
 (* {1 Command application} *)
 
+let starget_of : Trace.starget -> E.Sensorfault.target = function
+  | Trace.Sf_device d -> E.Sensorfault.Device d
+  | Trace.Sf_series s -> E.Sensorfault.Series s
+
 let apply st (op : Trace.op) =
   st.ops <- st.ops + 1;
   let at = E.Sim.now st.sim in
@@ -223,6 +227,19 @@ let apply st (op : Trace.op) =
       }
   | Trace.Clear_fault link -> E.Fabric.clear_fault st.fab link
   | Trace.Clear_all_faults -> E.Fabric.clear_all_faults st.fab
+  | Trace.Inject_sensor_fault { starget; sf } ->
+    E.Fabric.inject_sensor_fault st.fab (starget_of starget)
+      {
+        E.Sensorfault.stuck = sf.Trace.sf_stuck;
+        drift = sf.Trace.sf_drift;
+        drop_prob = sf.Trace.sf_drop;
+        dup_prob = sf.Trace.sf_dup;
+        skew = sf.Trace.sf_skew;
+        probe_loss = sf.Trace.sf_probe_loss;
+        probe_slow = sf.Trace.sf_probe_slow;
+      }
+  | Trace.Clear_sensor_fault starget ->
+    E.Fabric.clear_sensor_fault st.fab (starget_of starget)
   | Trace.Set_config c -> E.Fabric.set_config st.fab (Trace.host_of_config c)
   | Trace.Sync -> E.Fabric.refresh st.fab
   | Trace.Batch_start | Trace.Batch_end ->

@@ -32,6 +32,18 @@ let fnv_string h s =
 
 type fault = { capacity_factor : float; extra_latency : float; loss_prob : float }
 
+type starget = Sf_device of int | Sf_series of string
+
+type sensor_fault = {
+  sf_stuck : bool;
+  sf_drift : float;
+  sf_drop : float;
+  sf_dup : float;
+  sf_skew : float;
+  sf_probe_loss : float;
+  sf_probe_slow : float;
+}
+
 type config = {
   iommu : (int * float * float) option;
   ddio : (int * int * float) option;
@@ -65,6 +77,8 @@ type op =
   | Inject_fault of { link : int; fault : fault }
   | Clear_fault of int
   | Clear_all_faults
+  | Inject_sensor_fault of { starget : starget; sf : sensor_fault }
+  | Clear_sensor_fault of starget
   | Set_config of config
   | Sync
   | Batch_start
@@ -441,6 +455,15 @@ let spec_of_json j =
         (as_list (field j "hops"));
   }
 
+let starget_field = function
+  | Sf_device d -> ("dev", jint d)
+  | Sf_series s -> ("series", Str s)
+
+let starget_of_json j =
+  match field_opt j "dev" with
+  | Some d -> Sf_device (as_int d)
+  | None -> Sf_series (as_string (field j "series"))
+
 let op_to_fields = function
   | Start_flow s -> [ ("op", Str "start"); ("flow", spec_to_json s) ]
   | Stop_flow id -> [ ("op", Str "stop"); ("id", jint id) ]
@@ -462,6 +485,19 @@ let op_to_fields = function
     ]
   | Clear_fault link -> [ ("op", Str "clear"); ("link", jint link) ]
   | Clear_all_faults -> [ ("op", Str "clear_all") ]
+  | Inject_sensor_fault { starget; sf } ->
+    ("op", Str "sensor_fault")
+    :: starget_field starget
+    :: [
+         ("stuck", Bool sf.sf_stuck);
+         ("drift", jfloat sf.sf_drift);
+         ("drop", jfloat sf.sf_drop);
+         ("dup", jfloat sf.sf_dup);
+         ("skew", jfloat sf.sf_skew);
+         ("ploss", jfloat sf.sf_probe_loss);
+         ("pslow", jfloat sf.sf_probe_slow);
+       ]
+  | Clear_sensor_fault starget -> [ ("op", Str "sensor_clear"); starget_field starget ]
   | Set_config c -> [ ("op", Str "config"); ("config", config_to_json c) ]
   | Sync -> [ ("op", Str "sync") ]
   | Batch_start -> [ ("op", Str "batch_start") ]
@@ -492,6 +528,22 @@ let op_of_json j =
       }
   | "clear" -> Clear_fault (as_int (field j "link"))
   | "clear_all" -> Clear_all_faults
+  | "sensor_fault" ->
+    Inject_sensor_fault
+      {
+        starget = starget_of_json j;
+        sf =
+          {
+            sf_stuck = as_bool (field j "stuck");
+            sf_drift = as_float (field j "drift");
+            sf_drop = as_float (field j "drop");
+            sf_dup = as_float (field j "dup");
+            sf_skew = as_float (field j "skew");
+            sf_probe_loss = as_float (field j "ploss");
+            sf_probe_slow = as_float (field j "pslow");
+          };
+      }
+  | "sensor_clear" -> Clear_sensor_fault (starget_of_json j)
   | "config" -> Set_config (config_of_json (field j "config"))
   | "sync" -> Sync
   | "batch_start" -> Batch_start

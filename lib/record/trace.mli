@@ -35,6 +35,21 @@ val fnv_string : int64 -> string -> int64
 
 type fault = { capacity_factor : float; extra_latency : float; loss_prob : float }
 
+type starget = Sf_device of int | Sf_series of string
+(** Sensor-fault target: a device id or a telemetry series name
+    (mirrors {!Ihnet_engine.Sensorfault.target} without the engine
+    dependency in the codec types). *)
+
+type sensor_fault = {
+  sf_stuck : bool;
+  sf_drift : float;
+  sf_drop : float;
+  sf_dup : float;
+  sf_skew : float;
+  sf_probe_loss : float;
+  sf_probe_slow : float;
+}
+
 type config = {
   iommu : (int * float * float) option;  (** entries, hit, miss penalty. *)
   ddio : (int * int * float) option;  (** llc ways, io ways, way size. *)
@@ -68,6 +83,11 @@ type op =
   | Inject_fault of { link : int; fault : fault }
   | Clear_fault of int
   | Clear_all_faults
+  | Inject_sensor_fault of { starget : starget; sf : sensor_fault }
+      (** Telemetry-plane fault (additive in version 1: older traces
+          simply contain none; these ops are epoch-neutral — they never
+          reallocate — so digest alignment is unaffected). *)
+  | Clear_sensor_fault of starget
   | Set_config of config
   | Sync  (** An observation-driven counter sync (see {!Ihnet_engine.Fabric.event}). *)
   | Batch_start

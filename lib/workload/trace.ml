@@ -68,7 +68,7 @@ let capture fabric =
       | Fabric.Flow_completed _ | Fabric.Flow_stopped _ | Fabric.Fault_injected _
       | Fabric.Fault_cleared _ | Fabric.Limits_changed _ | Fabric.Config_changed _
       | Fabric.Reallocated _ | Fabric.All_faults_cleared | Fabric.Batch_started | Fabric.Batch_ended
-      | Fabric.Synced ->
+      | Fabric.Synced | Fabric.Sensor_fault_injected _ | Fabric.Sensor_fault_cleared _ ->
         ());
   t
 

@@ -157,7 +157,8 @@ let event_tests =
             | E.Fabric.Fault_cleared _ -> log := "clear" :: !log
             | E.Fabric.Limits_changed _ | E.Fabric.Config_changed _ | E.Fabric.Reallocated _
             | E.Fabric.All_faults_cleared | E.Fabric.Batch_started | E.Fabric.Batch_ended
-            | E.Fabric.Synced -> ());
+            | E.Fabric.Synced | E.Fabric.Sensor_fault_injected _
+            | E.Fabric.Sensor_fault_cleared _ -> ());
         let p = path fab "nic0" "dimm0.0.0" in
         ignore (E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:(E.Flow.Bytes 1e6) ());
         let f2 = E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:E.Flow.Unbounded () in
