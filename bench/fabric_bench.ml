@@ -23,6 +23,7 @@
    --smoke runs every subject exactly once (CI liveness check) and
    writes no file. *)
 
+module U = Ihnet_util
 module E = Ihnet_engine
 module T = Ihnet_topology
 module M = Ihnet_manager
@@ -130,6 +131,74 @@ let bench_churn ~nic_of n =
 let bench_churn_local = bench_churn ~nic_of:Fun.id
 let bench_churn_coupled = bench_churn ~nic_of:(fun i -> (i + 3) mod 8)
 
+(* {1 flow-churn-par-*: domain-parallel reallocation}
+
+   Same dgx fabric and link-disjoint gpu_i->nic_i background load as
+   flow-churn, but each op batches one start+stop per disjoint path, so
+   a single reallocation carries all eight contention components —
+   exactly the shape Fabric's domain pool shards. The -seq/-2/-4
+   variants differ only in the fabric's [~domains]; the determinism
+   contract says their rate tables are bit-identical, so any rate delta
+   is pure wall-clock scaling (on a 1-core runner expect parity, not
+   speedup). *)
+
+let bench_churn_par ~domains n =
+  let topo = T.Builder.dgx_like () in
+  let sim = E.Sim.create () in
+  let fab = E.Fabric.create ~domains sim topo in
+  let dev name =
+    match T.Topology.device_by_name topo name with
+    | Some d -> d.T.Device.id
+    | None -> failwith ("fabric_bench: no device " ^ name)
+  in
+  let paths =
+    List.init 8 (fun i ->
+        let src = Printf.sprintf "gpu%d" i and dst = Printf.sprintf "nic%d" i in
+        Option.get (T.Routing.shortest_path topo (dev src) (dev dst)))
+    |> Array.of_list
+  in
+  E.Fabric.batch fab (fun () ->
+      for i = 0 to n - 1 do
+        ignore
+          (E.Fabric.start_flow fab ~tenant:(1 + (i mod 16))
+             ~weight:(1.0 +. float_of_int (i mod 3))
+             ~path:paths.(i mod Array.length paths)
+             ~size:E.Flow.Unbounded ())
+      done);
+  time_ops (fun () ->
+      let churned =
+        ref []
+      in
+      E.Fabric.batch fab (fun () ->
+          Array.iter
+            (fun path ->
+              churned :=
+                E.Fabric.start_flow fab ~tenant:99 ~path ~size:E.Flow.Unbounded () :: !churned)
+            paths);
+      E.Fabric.batch fab (fun () -> List.iter (E.Fabric.stop_flow fab) !churned))
+
+(* {1 allocate-par-*: the bare allocator over disjoint banks}
+
+   Eight independent allocation problems (disjoint resource ranges, no
+   shared state), solved inline vs fanned out over a domain pool. This
+   isolates Pool.map's dispatch overhead and its best-case scaling from
+   everything fabric-specific. *)
+
+let bench_allocate_par ~domains n =
+  let banks = 8 in
+  let per = n / banks in
+  let capacities = Array.init 96 (fun r -> 80.0 +. float_of_int (r mod 7)) in
+  let demand_banks = Array.init banks (fun _ -> make_demands per) in
+  let pool = if domains > 1 then Some (U.Pool.get domains) else None in
+  time_ops (fun () ->
+      let solve i = E.Fairshare.allocate ~capacities demand_banks.(i) in
+      let results =
+        match pool with
+        | Some p -> U.Pool.map p banks solve
+        | None -> Array.init banks solve
+      in
+      Sys.opaque_identity results)
+
 (* {1 remediation-idle: the supervisor must be free when nothing is
    broken}
 
@@ -159,7 +228,7 @@ let make_managed_host ?(wire = fun _ -> ()) () =
             in
             ignore (M.Manager.attach mgr f))
           ps
-      | Error e -> failwith ("fabric_bench: admission refused: " ^ e))
+      | Error e -> failwith ("fabric_bench: admission refused: " ^ M.Mgr_error.to_string e))
     [
       M.Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:8e9;
       M.Intent.pipe ~tenant:2 ~src:"gpu0" ~dst:"socket0" ~rate:4e9;
@@ -302,6 +371,11 @@ let () =
       ("flow-churn-256", fun () -> bench_churn_local 256);
       ("flow-churn-4096", fun () -> bench_churn_local 4096);
       ("flow-churn-coupled-4096", fun () -> bench_churn_coupled 4096);
+      ("flow-churn-par-seq-4096", fun () -> bench_churn_par ~domains:1 4096);
+      ("flow-churn-par-2-4096", fun () -> bench_churn_par ~domains:2 4096);
+      ("flow-churn-par-4-4096", fun () -> bench_churn_par ~domains:4 4096);
+      ("allocate-par-seq-4096", fun () -> bench_allocate_par ~domains:1 4096);
+      ("allocate-par-4-4096", fun () -> bench_allocate_par ~domains:4 4096);
       ("remediation-idle", bench_remediation_idle);
       ("recorder-idle", bench_recorder_idle);
       ("evidence-idle", bench_evidence_idle);

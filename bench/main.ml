@@ -128,7 +128,7 @@ let bench_manager () =
   let intent = R.Intent.pipe ~tenant:1 ~src:"nic0" ~dst:"socket0" ~rate:1e9 in
   let reqs = Result.get_ok (R.Interpreter.compile topo intent) in
   let mgr = R.Manager.create fab () in
-  (match R.Manager.submit mgr intent with Ok _ -> () | Error e -> failwith e);
+  (match R.Manager.submit mgr intent with Ok _ -> () | Error e -> failwith (R.Mgr_error.to_string e));
   let path =
     Option.get (T.Routing.shortest_path topo (dev topo "nic0") (dev topo "socket0"))
   in

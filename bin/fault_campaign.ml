@@ -92,16 +92,22 @@ let run_campaign ?trace_buf ?(digest_every = 64) ?(sensor_mode = false) ~seed ~d
          heartbeat mesh so probe corruption bites, and the evidence
          gate so neither can trigger a migration on its own *)
       ignore (Ihnet.Host.start_monitoring host ());
-      Ihnet.Host.enable_remediation host ~use_heartbeat:true ~use_evidence:true ()
+      Ihnet.Host.enable_remediation host
+        ~wiring:{ Ihnet.Host.default_wiring with Ihnet.Host.evidence = true }
+        ()
     end
-    else Ihnet.Host.enable_remediation host ~use_heartbeat:false ()
+    else
+      Ihnet.Host.enable_remediation host
+        ~wiring:{ Ihnet.Host.default_wiring with Ihnet.Host.heartbeat = false }
+        ()
   in
   Option.iter (fun r -> Rec.Recorder.observe_remediation r rem) recorder;
   let rng = U.Rng.create (seed * 7919) in
   let submit intent =
     match R.Manager.submit mgr intent with
     | Ok ps -> ps
-    | Error e -> failwith ("fault_campaign: admission refused: " ^ e)
+    | Error e ->
+      failwith ("fault_campaign: admission refused: " ^ Ihnet.Manager.error_to_string e)
   in
   ignore (submit (R.Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:(U.Units.gbytes_per_s 8.0)));
   ignore (submit (R.Intent.pipe ~tenant:2 ~src:"gpu0" ~dst:"socket0" ~rate:(U.Units.gbytes_per_s 4.0)));

@@ -72,6 +72,15 @@ let topo_file_flag =
     & info [ "topo-file"; "f" ] ~docv:"FILE"
         ~doc:"Build the host from a topology spec file instead of a preset (see 'ihnetctl spec').")
 
+let domains_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Run fabric reallocation on $(docv) OCaml domains (default: \\$IHNET_DOMAINS, else 1). \
+           Results are bit-identical for every width; >1 only changes wall-clock time.")
+
 let build_config ddio iommu mps =
   let c = T.Hostconfig.default in
   let c =
@@ -97,18 +106,19 @@ let load_spec_file path =
     Printf.eprintf "%s: %s\n" path e;
     exit 2
 
-let make_host preset topo_file ddio iommu mps =
+let make_host preset topo_file ddio iommu mps domains =
   let preset =
     match topo_file with
     | Some path -> Ihnet.Host.Custom (load_spec_file path)
     | None -> preset
   in
-  Ihnet.Host.create ~config:(build_config ddio iommu mps) preset
+  Ihnet.Host.create ~config:(build_config ddio iommu mps) ?domains preset
 
 let config_term = Term.(const build_config $ ddio_flag $ iommu_flag $ mps_flag)
 
 let host_term =
-  Term.(const make_host $ preset $ topo_file_flag $ ddio_flag $ iommu_flag $ mps_flag)
+  Term.(
+    const make_host $ preset $ topo_file_flag $ ddio_flag $ iommu_flag $ mps_flag $ domains_flag)
 
 let src_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"SRC")
 let dst_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"DST")
@@ -365,7 +375,7 @@ let heal_cmd =
       match R.Manager.submit mgr (R.Intent.pipe ~tenant:1 ~src ~dst ~rate) with
       | Ok [ p ] -> p
       | Ok _ -> failwith "expected one placement"
-      | Error e -> failwith ("intent rejected: " ^ e)
+      | Error e -> failwith ("intent rejected: " ^ R.Manager.error_to_string e)
     in
     let f =
       E.Fabric.start_flow fab ~tenant:1 ~demand:rate ~path:p.R.Placement.path
@@ -375,7 +385,11 @@ let heal_cmd =
     let config =
       { R.Remediation.default_config with R.Remediation.use_fault_events = not silent }
     in
-    let rem = Ihnet.Host.enable_remediation host ~config ~use_heartbeat:silent () in
+    let rem =
+      Ihnet.Host.enable_remediation host ~config
+        ~wiring:{ Ihnet.Host.default_wiring with Ihnet.Host.heartbeat = silent }
+        ()
+    in
     (* heartbeat needs warm-up rounds to learn RTT baselines *)
     Ihnet.Host.run_for host (U.Units.ms (if silent then 10.0 else 2.0));
     let tenant_rate () =
@@ -487,7 +501,7 @@ let scenario_cmd =
           in
           (match R.Manager.submit mgr intent with
           | Ok _ -> Printf.printf "\n[tenant 1 protected with a %.0f Gbps pipe]\n" gbps
-          | Error e -> Printf.printf "\n[intent rejected: %s]\n" e);
+          | Error e -> Printf.printf "\n[intent rejected: %s]\n" (R.Manager.error_to_string e));
           Ihnet.Host.run_for host (U.Units.ms ms);
           Printf.printf "after another %.0f ms under management:\n" ms;
           List.iter (fun (k, v) -> Printf.printf "  %-22s %s\n" k v) (h.W.Scenario.metrics ());
@@ -788,7 +802,7 @@ let replay_cmd =
             "Deliberately double the weight of one running flow at $(docv) (trace-relative \
              nanoseconds) during replay — the conformance check must then report a divergence.")
   in
-  let run file perturb_at =
+  let run file perturb_at domains =
     let perturb =
       Option.map
         (fun at ->
@@ -799,7 +813,7 @@ let replay_cmd =
               | [] -> () ))
         perturb_at
     in
-    match Rec.Replay.replay_file ?perturb file with
+    match Rec.Replay.replay_file ?perturb ?domains file with
     | Error e -> failwith e
     | Ok report ->
       Format.printf "%a@." Rec.Replay.pp_report report;
@@ -808,7 +822,7 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Re-execute a recorded trace on a fresh host and check digests epoch-by-epoch.")
-    Term.(const run $ file $ perturb_at)
+    Term.(const run $ file $ perturb_at $ domains_flag)
 
 let main_cmd =
   let doc = "operator tools for the (simulated) manageable intra-host network" in

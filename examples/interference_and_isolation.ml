@@ -99,7 +99,7 @@ let () =
   in
   (match R.Manager.submit mgr intent with
   | Ok _ -> print_endline "  intent admitted"
-  | Error e -> Printf.printf "  intent rejected: %s\n" e);
+  | Error e -> Printf.printf "  intent rejected: %s\n" (Manager.error_to_string e));
   Host.run_for host (U.Units.ms 15.0);
   kv_report "  kv under management:" kv;
   Printf.printf "  (ml trainer finished %d iterations meanwhile)\n"

@@ -28,7 +28,9 @@ let () =
                 ~from_host:(U.Units.gbps 50.0))
          with
         | Ok _ -> Printf.printf "tenant %s: hose 50/50 Gbps at %s admitted\n" t.W.Tenant.name nic
-        | Error e -> Printf.printf "tenant %s: REJECTED (%s)\n" t.W.Tenant.name e);
+        | Error e ->
+          Printf.printf "tenant %s: REJECTED (%s)\n" t.W.Tenant.name
+            (Manager.error_to_string e));
         t)
       [ 0; 1; 2; 3 ]
   in

@@ -54,7 +54,7 @@ let () =
       (List.length placements) U.Units.pp_rate
       (R.Manager.guaranteed_throughput (Option.get (Host.manager host))
          ~tenant:tenant.W.Tenant.id)
-  | Error e -> Printf.printf "intent rejected: %s\n" e);
+  | Error e -> Printf.printf "intent rejected: %s\n" (Manager.error_to_string e));
   Host.run_for host (U.Units.ms 10.0);
 
   (* 5. The tenant's virtualized view of the intra-host network. *)

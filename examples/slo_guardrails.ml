@@ -20,7 +20,7 @@ let () =
   let submit intent =
     match R.Manager.submit mgr intent with
     | Ok _ -> ()
-    | Error e -> failwith ("intent rejected: " ^ e)
+    | Error e -> failwith ("intent rejected: " ^ Manager.error_to_string e)
   in
   submit
     {

@@ -26,13 +26,30 @@ let build_topology ?config = function
     Option.iter (T.Topology.set_config topo) config;
     topo
 
-let create ?(seed = 42) ?config preset =
+type wiring = {
+  heartbeat : bool;
+  evidence : bool;
+  headroom : float;
+  shim_period : Ihnet_util.Units.ns;
+  sampler : M.Sampler.config option;
+}
+
+let default_wiring =
+  {
+    heartbeat = true;
+    evidence = false;
+    headroom = 0.9;
+    shim_period = Ihnet_util.Units.us 50.0;
+    sampler = None;
+  }
+
+let create ?(seed = 42) ?config ?domains preset =
   let topo = build_topology ?config preset in
   (match T.Topology.validate topo with
   | Ok () -> ()
   | Error es -> invalid_arg ("Host.create: invalid topology: " ^ String.concat "; " es));
   let sim = E.Sim.create () in
-  let fabric = E.Fabric.create ~seed sim topo in
+  let fabric = E.Fabric.create ~seed ?domains sim topo in
   {
     sim;
     fabric;
@@ -57,18 +74,20 @@ let run_for t duration =
 let run_until_idle t = E.Sim.run t.sim
 let add_tenant t ~name = W.Tenant.register t.tenants ~name ~kind:W.Tenant.Vm
 
-let start_monitoring t ?config () =
+let start_monitoring (t : t) ?(wiring = default_wiring) () =
   match t.sampler with
   | Some s -> s
   | None ->
-    let config = match config with Some c -> c | None -> M.Sampler.default_config () in
+    let config =
+      match wiring.sampler with Some c -> c | None -> M.Sampler.default_config ()
+    in
     let s = M.Sampler.start t.fabric config in
     t.sampler <- Some s;
     s
 
-let sampler t = t.sampler
+let sampler (t : t) = t.sampler
 
-let start_heartbeats t ?config () =
+let start_heartbeats (t : t) ?config () =
   match t.heartbeat with
   | Some h -> h
   | None ->
@@ -76,14 +95,14 @@ let start_heartbeats t ?config () =
     t.heartbeat <- Some h;
     h
 
-let heartbeat t = t.heartbeat
+let heartbeat (t : t) = t.heartbeat
 
-let enable_manager t ?headroom ?(shim_period = Ihnet_util.Units.us 50.0) () =
+let enable_manager t ?(wiring = default_wiring) () =
   match t.manager with
   | Some m -> m
   | None ->
-    let m = R.Manager.create t.fabric ?headroom () in
-    R.Manager.start_shim m ~period:shim_period;
+    let m = R.Manager.create t.fabric ~headroom:wiring.headroom () in
+    R.Manager.start_shim m ~period:wiring.shim_period;
     t.manager <- Some m;
     m
 
@@ -94,21 +113,21 @@ let manager t = t.manager
    the host — which sees both layers — plugs heartbeat localization in
    here. Operator-injected faults reach the supervisor directly through
    fabric events; this source is what catches the silent ones. *)
-let enable_remediation t ?config ?(use_heartbeat = true) ?(use_evidence = false) () =
+let enable_remediation (t : t) ?config ?(wiring = default_wiring) () =
   match t.remediation with
   | Some r -> r
   | None ->
-    let m = enable_manager t () in
+    let m = enable_manager t ~wiring () in
     let r = R.Remediation.create ?config m in
     let ev =
-      if use_evidence then begin
+      if wiring.evidence then begin
         let ev = M.Evidence.create t.fabric in
         t.evidence <- Some ev;
         Some ev
       end
       else None
     in
-    (if use_heartbeat then begin
+    (if wiring.heartbeat then begin
        let hb = start_heartbeats t () in
        R.Remediation.add_source r ~name:"heartbeat"
          (fun () ->
@@ -126,7 +145,7 @@ let enable_remediation t ?config ?(use_heartbeat = true) ?(use_evidence = false)
     r
 
 let remediation t = t.remediation
-let evidence t = t.evidence
+let evidence (t : t) = t.evidence
 
 let submit_intent t intent =
   let m = enable_manager t () in

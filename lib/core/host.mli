@@ -14,8 +14,39 @@ type preset =
 
 type t
 
-val create : ?seed:int -> ?config:Ihnet_topology.Hostconfig.t -> preset -> t
-(** Builds (and validates) the topology and the fabric.
+type wiring = {
+  heartbeat : bool;
+      (** Start the heartbeat mesh and wire
+          {!Ihnet_monitor.Heartbeat.localize} in as a remediation
+          detector source, so silent faults — not just
+          operator-injected ones — open cases. Default [true]. *)
+  evidence : bool;
+      (** Create an {!Ihnet_monitor.Evidence.t} corroboration gate,
+          feed heartbeat suspects into it, and install it via
+          {!Ihnet_manager.Remediation.set_gate} — migrations and
+          degradations then require independent-modality agreement.
+          Default [false]. *)
+  headroom : float;
+      (** Reservable fraction of each link the scheduler may admit
+          against. Default 0.9. *)
+  shim_period : Ihnet_util.Units.ns;
+      (** Polling period of the arbiter's enforcement shim.
+          Default 50 µs. *)
+  sampler : Ihnet_monitor.Sampler.config option;
+      (** Sampler configuration for {!start_monitoring};
+          [None] (default) means {!Ihnet_monitor.Sampler.default_config}. *)
+}
+(** How the optional subsystems are wired when enabled — one record
+    instead of a per-function option soup. Build variations with
+    functional update: [{ default_wiring with evidence = true }]. *)
+
+val default_wiring : wiring
+
+val create : ?seed:int -> ?config:Ihnet_topology.Hostconfig.t -> ?domains:int -> preset -> t
+(** Builds (and validates) the topology and the fabric. [domains] is
+    the reallocation pool width, forwarded to
+    {!Ihnet_engine.Fabric.create} (default: [IHNET_DOMAINS] from the
+    environment, else 1 — sequential).
     @raise Invalid_argument if a custom topology fails validation. *)
 
 val sim : t -> Ihnet_engine.Sim.t
@@ -36,8 +67,9 @@ val add_tenant : t -> name:string -> Ihnet_workload.Tenant.t
 
 (** {1 Monitoring} *)
 
-val start_monitoring : t -> ?config:Ihnet_monitor.Sampler.config -> unit -> Ihnet_monitor.Sampler.t
-(** Idempotent: returns the running sampler if one exists. *)
+val start_monitoring : t -> ?wiring:wiring -> unit -> Ihnet_monitor.Sampler.t
+(** Starts the counter sampler ([wiring.sampler] configures it).
+    Idempotent: returns the running sampler if one exists. *)
 
 val sampler : t -> Ihnet_monitor.Sampler.t option
 val start_heartbeats : t -> ?config:Ihnet_monitor.Heartbeat.config -> unit -> Ihnet_monitor.Heartbeat.t
@@ -45,36 +77,32 @@ val heartbeat : t -> Ihnet_monitor.Heartbeat.t option
 
 (** {1 Resource management} *)
 
-val enable_manager :
-  t -> ?headroom:float -> ?shim_period:Ihnet_util.Units.ns -> unit -> Ihnet_manager.Manager.t
-(** Creates the manager and starts its shim. Idempotent. *)
+val enable_manager : t -> ?wiring:wiring -> unit -> Ihnet_manager.Manager.t
+(** Creates the manager ([wiring.headroom]) and starts its shim
+    ([wiring.shim_period]). Idempotent. *)
 
 val manager : t -> Ihnet_manager.Manager.t option
 
 val enable_remediation :
   t ->
   ?config:Ihnet_manager.Remediation.config ->
-  ?use_heartbeat:bool ->
-  ?use_evidence:bool ->
+  ?wiring:wiring ->
   unit ->
   Ihnet_manager.Remediation.t
 (** Creates the self-healing supervisor (enabling the manager if
-    needed) and starts its detect → diagnose → act loop. With
-    [use_heartbeat] (default true) it also starts the heartbeat mesh
-    and wires {!Ihnet_monitor.Heartbeat.localize} in as a detector
-    source, so silent faults — not just operator-injected ones — open
-    remediation cases. With [use_evidence] (default false) it creates
-    an {!Ihnet_monitor.Evidence.t} corroboration gate, feeds heartbeat
-    suspects into it, and installs it via
-    {!Ihnet_manager.Remediation.set_gate} — migrations and degradations
-    then require independent-modality agreement. Idempotent. *)
+    needed, with the same [wiring]) and starts its
+    detect → diagnose → act loop. [wiring.heartbeat] and
+    [wiring.evidence] select the detector source and the corroboration
+    gate — see {!wiring}. Idempotent. *)
 
 val remediation : t -> Ihnet_manager.Remediation.t option
 val evidence : t -> Ihnet_monitor.Evidence.t option
 
 val submit_intent :
-  t -> Ihnet_manager.Intent.t -> (Ihnet_manager.Placement.t list, string) result
-(** Enables the manager (defaults) if needed, then submits. *)
+  t -> Ihnet_manager.Intent.t -> (Ihnet_manager.Placement.t list, Ihnet_manager.Manager.error) result
+(** Enables the manager (defaults) if needed, then submits. Match on
+    {!Ihnet_manager.Manager.error} (or render it with
+    {!Ihnet_manager.Manager.error_to_string}) on refusal. *)
 
 (** {1 Diagnostics shortcuts} *)
 

@@ -25,6 +25,7 @@ module Sim = Ihnet_engine.Sim
 module Flow = Ihnet_engine.Flow
 module Fabric = Ihnet_engine.Fabric
 module Fault = Ihnet_engine.Fault
+module Sensorfault = Ihnet_engine.Sensorfault
 module Tenant = Ihnet_workload.Tenant
 module Traffic = Ihnet_workload.Traffic
 module Kvstore = Ihnet_workload.Kvstore
@@ -44,6 +45,7 @@ module Rootcause = Ihnet_monitor.Rootcause
 module Diagnostics = Ihnet_monitor.Diagnostics
 module Health = Ihnet_monitor.Health
 module Fleet = Ihnet_monitor.Fleet
+module Evidence = Ihnet_monitor.Evidence
 module Intent = Ihnet_manager.Intent
 module Manager = Ihnet_manager.Manager
 module Placement = Ihnet_manager.Placement
@@ -53,3 +55,5 @@ module Vnet = Ihnet_manager.Vnet
 module Slo = Ihnet_manager.Slo
 module Planner = Ihnet_manager.Planner
 module Policy = Ihnet_manager.Policy
+module Remediation = Ihnet_manager.Remediation
+module Pool = Ihnet_util.Pool

@@ -65,12 +65,9 @@ type t = {
   comp_entries : entry U.Vec.t; (* scratch: current component's members *)
   comp_res : int U.Vec.t; (* scratch: current component's real resources *)
   comp_sockets : int U.Vec.t; (* scratch: current component's coupled sockets *)
-  (* spill fixed-point scratch, indexed by socket *)
-  fx_wb : float array;
-  fx_rr : float array;
-  fx_write : float array;
-  fx_hit : float array;
   cheap : (entry * int) U.Heap.t; (* completion times, prio = absolute ns *)
+  domains : int; (* requested pool width (1 = sequential) *)
+  pool : U.Pool.t option; (* shared domain pool, present iff domains > 1 *)
 }
 
 and event =
@@ -174,7 +171,14 @@ let refresh_link_caps t link_id =
 let refresh_all_caps t =
   List.iter (fun (l : T.Link.t) -> refresh_link_caps t l.T.Link.id) (T.Topology.links t.topo)
 
-let create ?(seed = 42) sim topo =
+let create ?(seed = 42) ?domains sim topo =
+  let domains =
+    match domains with
+    | Some d ->
+      if d < 1 then invalid_arg "Fabric.create: domains must be >= 1";
+      min d 64
+    | None -> U.Pool.default_domains ()
+  in
   let nr = nresources topo in
   let socket_mems = build_socket_mems topo in
   let ns = Array.length socket_mems in
@@ -228,11 +232,9 @@ let create ?(seed = 42) sim topo =
       comp_entries = U.Vec.create ();
       comp_res = U.Vec.create ();
       comp_sockets = U.Vec.create ();
-      fx_wb = Array.make (max 1 ns) 0.0;
-      fx_rr = Array.make (max 1 ns) 0.0;
-      fx_write = Array.make (max 1 ns) 0.0;
-      fx_hit = Array.make (max 1 ns) 1.0;
       cheap = U.Heap.create ();
+      domains;
+      pool = (if domains > 1 then Some (U.Pool.get domains) else None);
     }
   in
   refresh_all_caps t;
@@ -245,6 +247,7 @@ let sim t = t.sim
 let topology t = t.topo
 let rng t = t.rng
 let now t = Sim.now t.sim
+let domains t = t.domains
 
 let tenant_row t tenant =
   match Hashtbl.find_opt t.tenant_rows tenant with
@@ -409,59 +412,132 @@ let collect_component t seeds =
         t.res_entries.(r)
   done
 
-(* Recompute rates for the component(s) reachable from [seeds] only;
-   flows outside keep their rates, loads and completion events. The
-   DDIO spill fixed point is resolved per affected socket by the same
-   short damped iteration as before (spill depends on allocated write
-   rates which depend on memory-bus contention which includes spill). *)
-let rec reallocate t seeds =
-  if t.in_batch then ()
-  else reallocate_now t seeds
+(* A snapshot of one contention component: the shardable unit of
+   reallocation. Components reachable from distinct seeds are
+   resource-disjoint by construction, so their allocations are
+   independent — each can be computed on any domain. *)
+type component = {
+  c_entries : entry array; (* BFS discovery order *)
+  c_res : int array; (* real resources the component touches *)
+  c_sockets : int array; (* DDIO-coupled sockets *)
+}
 
-and reallocate_now t seeds =
-  sync t;
-  t.allocs <- t.allocs + 1;
-  t.epoch <- t.epoch + 1;
-  collect_component t seeds;
-  let nc = U.Vec.length t.comp_entries in
+(* Partition the contention closure of [seeds] into its connected
+   components, in seed order (first-seed-reached first). The order is a
+   pure function of the fabric state and the seed array — never of any
+   scheduling decision — so it serves as the canonical component id
+   for the deterministic merge below. *)
+let collect_components t seeds =
+  t.comp_gen <- t.comp_gen + 1;
+  let gen = t.comp_gen in
+  let comps = ref [] in
+  let stack = ref [] in
+  let rec mark_res r =
+    if t.res_mark.(r) <> gen then begin
+      t.res_mark.(r) <- gen;
+      if r < t.nr then U.Vec.push t.comp_res r;
+      stack := r :: !stack;
+      let s = t.socket_of_res.(r) in
+      if s >= 0 && t.socket_mark.(s) <> gen then begin
+        t.socket_mark.(s) <- gen;
+        U.Vec.push t.comp_sockets s;
+        match t.socket_mems.(s) with
+        | Some sm ->
+          mark_res (t.nr + s);
+          List.iter (fun (r', _) -> mark_res r') sm.to_mem;
+          List.iter (fun (r', _) -> mark_res r') sm.from_mem
+        | None -> ()
+      end
+    end
+  in
+  Array.iter
+    (fun seed ->
+      if t.res_mark.(seed) <> gen then begin
+        U.Vec.clear t.comp_entries;
+        U.Vec.clear t.comp_res;
+        U.Vec.clear t.comp_sockets;
+        mark_res seed;
+        let continue = ref true in
+        while !continue do
+          match !stack with
+          | [] -> continue := false
+          | r :: rest ->
+            stack := rest;
+            List.iter
+              (fun e ->
+                if e.mark <> gen then begin
+                  e.mark <- gen;
+                  U.Vec.push t.comp_entries e;
+                  Array.iter mark_res e.conn
+                end)
+              t.res_entries.(r)
+        done;
+        comps :=
+          {
+            c_entries = U.Vec.to_array t.comp_entries;
+            c_res = U.Vec.to_array t.comp_res;
+            c_sockets = U.Vec.to_array t.comp_sockets;
+          }
+          :: !comps
+      end)
+    seeds;
+  List.rev !comps
+
+(* What a component's allocation pass produces; the socket arrays are
+   full-width (indexed by global socket number) but only the slots in
+   [c_sockets] are meaningful. *)
+type comp_result = {
+  cr_rates : float array; (* per entry, in c_entries order *)
+  cr_write : float array;
+  cr_hit : float array;
+  cr_wb : float array;
+  cr_rr : float array;
+}
+
+(* Rate computation for one component. Pure with respect to the fabric:
+   reads only state that is frozen for the duration of a reallocation
+   (caps, cache model, topology, cached demands) and writes only its
+   own local arrays — so it may run on any domain of the pool, and the
+   result is bit-identical no matter which one. The DDIO spill fixed
+   point is resolved per affected socket by a short damped iteration
+   (spill depends on allocated write rates which depend on memory-bus
+   contention which includes spill). *)
+let compute_component t (c : component) =
+  let nc = Array.length c.c_entries in
   let ns = Array.length t.socket_mems in
   let ddio_on = Cache.enabled t.cache in
-  let wb = t.fx_wb and rr = t.fx_rr and write = t.fx_write and hit = t.fx_hit in
-  U.Vec.iter
-    (fun s ->
-      wb.(s) <- 0.0;
-      rr.(s) <- 0.0;
-      write.(s) <- 0.0;
-      hit.(s) <- (if ddio_on then 1.0 else 0.0))
-    t.comp_sockets;
-  let base = Array.init nc (fun i -> (U.Vec.get t.comp_entries i).dem) in
+  let wb = Array.make (max 1 ns) 0.0
+  and rr = Array.make (max 1 ns) 0.0
+  and write = Array.make (max 1 ns) 0.0
+  and hit = Array.make (max 1 ns) (if ddio_on then 1.0 else 0.0) in
+  let base = Array.map (fun e -> e.dem) c.c_entries in
   let rates = ref (Array.make nc 0.0) in
   (* the spill fixed point only matters when LLC-targeted flows exist *)
-  let any_llc = U.Vec.exists (fun e -> e.flow.Flow.llc_target) t.comp_entries in
-  let iterations = if U.Vec.length t.comp_sockets > 0 && any_llc then 4 else 1 in
+  let any_llc = Array.exists (fun e -> e.flow.Flow.llc_target) c.c_entries in
+  let iterations = if Array.length c.c_sockets > 0 && any_llc then 4 else 1 in
   for _iter = 1 to iterations do
     let spills = ref [] in
-    U.Vec.iter
+    Array.iter
       (fun s ->
         match t.socket_mems.(s) with
         | None -> ()
         | Some sm ->
           if wb.(s) > 0.0 then spills := spill_demand wb.(s) sm.to_mem :: !spills;
           if rr.(s) > 0.0 then spills := spill_demand rr.(s) sm.from_mem :: !spills)
-      t.comp_sockets;
+      c.c_sockets;
     let demands = Array.append base (Array.of_list !spills) in
     let all = Fairshare.allocate ~capacities:t.caps demands in
     rates := Array.sub all 0 nc;
     (* recompute spill targets from the allocated LLC write rates *)
-    U.Vec.iter (fun s -> write.(s) <- 0.0) t.comp_sockets;
-    U.Vec.iteri
+    Array.iter (fun s -> write.(s) <- 0.0) c.c_sockets;
+    Array.iteri
       (fun i e ->
         if e.flow.Flow.llc_target then
           match llc_socket t e.flow with
           | Some s when s >= 0 && s < ns -> write.(s) <- write.(s) +. !rates.(i)
           | Some _ | None -> ())
-      t.comp_entries;
-    U.Vec.iter
+      c.c_entries;
+    Array.iter
       (fun s ->
         let h = Cache.hit_rate t.cache ~write_rate:write.(s) in
         hit.(s) <- (if ddio_on then h else 0.0);
@@ -472,47 +548,79 @@ and reallocate_now t seeds =
         in
         wb.(s) <- (wb.(s) +. target_wb) /. 2.0;
         rr.(s) <- (rr.(s) +. target_rr) /. 2.0)
-      t.comp_sockets
+      c.c_sockets
   done;
-  (* commit rates and (re)key completion events for the component *)
-  let tnow = Sim.now t.sim in
-  U.Vec.iteri
+  { cr_rates = !rates; cr_write = write; cr_hit = hit; cr_wb = wb; cr_rr = rr }
+
+(* Commit one component's result into the fabric. Always runs on the
+   coordinating domain, in canonical component order, so rate stores,
+   completion-heap pushes and load recomputation happen in exactly the
+   same sequence whether the results were computed sequentially or on
+   the pool. *)
+let commit_component t tnow (c : component) (r : comp_result) =
+  Array.iteri
     (fun i e ->
       let f = e.flow in
-      f.Flow.rate <- !rates.(i);
+      f.Flow.rate <- r.cr_rates.(i);
       e.hstamp <- e.hstamp + 1;
       if f.Flow.state = Flow.Running && f.Flow.remaining <> infinity && f.Flow.rate > 0.0 then
         U.Heap.push t.cheap (tnow +. Flow.eta_ns f) (e, e.hstamp))
-    t.comp_entries;
-  U.Vec.iter
+    c.c_entries;
+  Array.iter
     (fun s ->
-      t.ddio_write.(s) <- write.(s);
-      t.ddio_hit.(s) <- hit.(s);
-      t.spill_wb.(s) <- wb.(s);
-      t.spill_rr.(s) <- rr.(s))
-    t.comp_sockets;
+      t.ddio_write.(s) <- r.cr_write.(s);
+      t.ddio_hit.(s) <- r.cr_hit.(s);
+      t.spill_wb.(s) <- r.cr_wb.(s);
+      t.spill_rr.(s) <- r.cr_rr.(s))
+    c.c_sockets;
   (* recompute loads and per-resource flow counts, component-local *)
-  U.Vec.iter
-    (fun r ->
-      t.load.(r) <- 0.0;
-      t.flows_on.(r) <- 0)
-    t.comp_res;
-  U.Vec.iter
+  Array.iter
+    (fun res ->
+      t.load.(res) <- 0.0;
+      t.flows_on.(res) <- 0)
+    c.c_res;
+  Array.iter
     (fun e ->
       List.iter
         (fun (res, coeff) ->
           t.load.(res) <- t.load.(res) +. (e.flow.Flow.rate *. coeff);
           t.flows_on.(res) <- t.flows_on.(res) + 1)
         e.usage)
-    t.comp_entries;
-  U.Vec.iter
+    c.c_entries;
+  Array.iter
     (fun s ->
       match t.socket_mems.(s) with
       | None -> ()
       | Some sm ->
-        List.iter (fun (res, c) -> t.load.(res) <- t.load.(res) +. (wb.(s) *. c)) sm.to_mem;
-        List.iter (fun (res, c) -> t.load.(res) <- t.load.(res) +. (rr.(s) *. c)) sm.from_mem)
-    t.comp_sockets;
+        List.iter (fun (res, co) -> t.load.(res) <- t.load.(res) +. (r.cr_wb.(s) *. co)) sm.to_mem;
+        List.iter (fun (res, co) -> t.load.(res) <- t.load.(res) +. (r.cr_rr.(s) *. co)) sm.from_mem)
+    c.c_sockets
+
+(* Recompute rates for the component(s) reachable from [seeds] only;
+   flows outside keep their rates, loads and completion events. Each
+   component is computed independently — on the domain pool when one
+   is attached and the dirty set spans more than one component — and
+   the results are merged in canonical component order, so a parallel
+   run commits byte-identical state to a sequential one. *)
+let rec reallocate t seeds =
+  if t.in_batch then ()
+  else reallocate_now t seeds
+
+and reallocate_now t seeds =
+  sync t;
+  t.allocs <- t.allocs + 1;
+  t.epoch <- t.epoch + 1;
+  let comps = Array.of_list (collect_components t seeds) in
+  let n = Array.length comps in
+  let results =
+    match t.pool with
+    | Some pool when n > 1 -> U.Pool.map pool n (fun i -> compute_component t comps.(i))
+    | _ -> Array.init n (fun i -> compute_component t comps.(i))
+  in
+  let tnow = Sim.now t.sim in
+  for i = 0 to n - 1 do
+    commit_component t tnow comps.(i) results.(i)
+  done;
   schedule_next_completion t;
   (* guarded so unobserved fabrics pay nothing for the recorder hook *)
   if t.listeners <> [] then emit t (Reallocated t.epoch)

@@ -30,7 +30,20 @@
 
 type t
 
-val create : ?seed:int -> Sim.t -> Ihnet_topology.Topology.t -> t
+val create : ?seed:int -> ?domains:int -> Sim.t -> Ihnet_topology.Topology.t -> t
+(** [domains] sets the width of the reallocation pool (default:
+    [IHNET_DOMAINS] from the environment, else 1). At 1, reallocation
+    is sequential on the calling domain; at [n > 1], the dirty
+    connected components of a reallocation are computed in parallel on
+    a shared process-wide pool of [n] domains and committed in
+    canonical component order, so the simulation is bit-identical to a
+    sequential run (see "Parallel reallocation" in doc/MODEL.md). RNG
+    draws and all state mutation stay on the calling domain.
+    @raise Invalid_argument when [domains < 1]. *)
+
+val domains : t -> int
+(** The pool width this fabric was created with. *)
+
 val sim : t -> Sim.t
 val topology : t -> Ihnet_topology.Topology.t
 val rng : t -> Ihnet_util.Rng.t

@@ -116,7 +116,7 @@ let run_a2 () =
           ];
       }
     in
-    (match R.Manager.submit mgr intent with Ok _ -> () | Error e -> failwith e);
+    (match R.Manager.submit mgr intent with Ok _ -> () | Error e -> failwith (R.Mgr_error.to_string e));
     ignore host
   in
   let rows =

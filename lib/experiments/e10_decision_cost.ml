@@ -32,17 +32,17 @@ let scale_row ~sockets ~switches ~devices =
   let intent = R.Intent.pipe ~tenant:1 ~src:"nic0" ~dst:"socket0" ~rate:1e9 in
   let compile_cost =
     wall_clock_ns (fun () ->
-        match R.Interpreter.compile topo intent with Ok _ -> () | Error e -> failwith e)
+        match R.Interpreter.compile topo intent with Ok _ -> () | Error e -> failwith (R.Mgr_error.to_string e))
   in
   let schedule_cost =
     let reqs = Result.get_ok (R.Interpreter.compile topo intent) in
     wall_clock_ns (fun () ->
         let sched = R.Scheduler.create topo () in
-        match R.Scheduler.place_all sched reqs with Ok _ -> () | Error e -> failwith e)
+        match R.Scheduler.place_all sched reqs with Ok _ -> () | Error e -> failwith (R.Mgr_error.to_string e))
   in
   (* arbiter enforcement: re-sharing one placement among 8 live flows *)
   let mgr = R.Manager.create fab () in
-  (match R.Manager.submit mgr intent with Ok _ -> () | Error e -> failwith e);
+  (match R.Manager.submit mgr intent with Ok _ -> () | Error e -> failwith (R.Mgr_error.to_string e));
   let path =
     Option.get
       (T.Routing.shortest_path topo

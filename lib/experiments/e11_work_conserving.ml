@@ -28,8 +28,8 @@ let run_mode ~work_conserving =
       R.Intent.work_conserving;
     }
   in
-  (match R.Manager.submit mgr (intent 1) with Ok _ -> () | Error e -> failwith e);
-  (match R.Manager.submit mgr (intent 2) with Ok _ -> () | Error e -> failwith e);
+  (match R.Manager.submit mgr (intent 1) with Ok _ -> () | Error e -> failwith (R.Mgr_error.to_string e));
+  (match R.Manager.submit mgr (intent 2) with Ok _ -> () | Error e -> failwith (R.Mgr_error.to_string e));
   let path =
     T.Path.concat
       (Option.get (T.Routing.shortest_path topo (device_id host "ext") (device_id host "nic0")))

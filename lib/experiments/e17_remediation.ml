@@ -50,7 +50,7 @@ let start_victim host ~src ~dst =
     match Ihnet.Host.submit_intent host (R.Intent.pipe ~tenant:1 ~src ~dst ~rate:victim_rate) with
     | Ok [ p ] -> p
     | Ok _ -> failwith "E17: expected one placement"
-    | Error e -> failwith ("E17: admission refused: " ^ e)
+    | Error e -> failwith ("E17: admission refused: " ^ R.Mgr_error.to_string e)
   in
   let f =
     E.Fabric.start_flow (Ihnet.Host.fabric host) ~tenant:1 ~demand:victim_rate
@@ -87,7 +87,10 @@ let run_alternate_path ~remediate =
   let host = fresh_host () in
   let p = start_victim host ~src:"ext" ~dst:"socket0" in
   let rem =
-    if remediate then Some (Ihnet.Host.enable_remediation host ~use_heartbeat:false ()) else None
+    if remediate then Some
+        (Ihnet.Host.enable_remediation host
+           ~wiring:{ Ihnet.Host.default_wiring with Ihnet.Host.heartbeat = false }
+           ()) else None
   in
   Ihnet.Host.run_for host (U.Units.ms 2.0);
   let pre = tenant_rate host ~tenant:1 in
@@ -115,7 +118,11 @@ let run_alternate_path ~remediate =
 let run_degrade () =
   let host = fresh_host () in
   let p = start_victim host ~src:"gpu0" ~dst:"socket0" in
-  let rem = Ihnet.Host.enable_remediation host ~use_heartbeat:false () in
+  let rem =
+    Ihnet.Host.enable_remediation host
+      ~wiring:{ Ihnet.Host.default_wiring with Ihnet.Host.heartbeat = false }
+      ()
+  in
   Ihnet.Host.run_for host (U.Units.ms 2.0);
   let pre = tenant_rate host ~tenant:1 in
   let bad = hop_link p 1 in
@@ -147,7 +154,7 @@ let run_silent () =
   let host = fresh_host () in
   let p = start_victim host ~src:"ext" ~dst:"socket0" in
   let config = { R.Remediation.default_config with R.Remediation.use_fault_events = false } in
-  let rem = Ihnet.Host.enable_remediation host ~config ~use_heartbeat:true () in
+  let rem = Ihnet.Host.enable_remediation host ~config () in
   Ihnet.Host.run_for host (U.Units.ms 10.0) (* heartbeat baseline warm-up *);
   let pre = tenant_rate host ~tenant:1 in
   let bad = hop_link p 1 in
@@ -173,7 +180,11 @@ let run_silent () =
 let run_flap () =
   let host = fresh_host () in
   let p = start_victim host ~src:"ext" ~dst:"socket0" in
-  let rem = Ihnet.Host.enable_remediation host ~use_heartbeat:false () in
+  let rem =
+    Ihnet.Host.enable_remediation host
+      ~wiring:{ Ihnet.Host.default_wiring with Ihnet.Host.heartbeat = false }
+      ()
+  in
   Ihnet.Host.run_for host (U.Units.ms 2.0);
   let pre = tenant_rate host ~tenant:1 in
   let bad = hop_link p 1 in

@@ -55,7 +55,7 @@ let start_victim host ~src ~dst =
     match Ihnet.Host.submit_intent host (R.Intent.pipe ~tenant:1 ~src ~dst ~rate:victim_rate) with
     | Ok [ p ] -> p
     | Ok _ -> failwith "E18: expected one placement"
-    | Error e -> failwith ("E18: admission refused: " ^ e)
+    | Error e -> failwith ("E18: admission refused: " ^ R.Mgr_error.to_string e)
   in
   let f =
     E.Fabric.start_flow (Ihnet.Host.fabric host) ~tenant:1 ~demand:victim_rate
@@ -100,7 +100,11 @@ let run_one ~gated =
                               and is exactly what a lying probe agent can weaponize *);
     }
   in
-  let rem = Ihnet.Host.enable_remediation host ~config ~use_heartbeat:true ~use_evidence:gated () in
+  let rem =
+    Ihnet.Host.enable_remediation host ~config
+      ~wiring:{ Ihnet.Host.default_wiring with Ihnet.Host.evidence = gated }
+      ()
+  in
   let s = Ihnet.Host.start_monitoring host () in
   Ihnet.Host.run_for host (U.Units.ms 6.0) (* heartbeat baseline warm-up *);
   (* The liars. A corrupted probe agent on nic0 (on the victim's path)

@@ -70,7 +70,7 @@ let run () =
     in
     (match R.Manager.submit mgr intent with
     | Ok _ -> ()
-    | Error e -> failwith ("E8: intent rejected: " ^ e));
+    | Error e -> failwith ("E8: intent rejected: " ^ R.Mgr_error.to_string e));
     (R.Policy.Holistic mgr, fun () -> R.Manager.revoke mgr ~tenant:kv_tenant)
   in
   let rows =

@@ -16,13 +16,13 @@ let ( let* ) = Result.bind
 let find_device topo name =
   match T.Topology.device_by_name topo name with
   | Some d -> Ok d
-  | None -> Error (Printf.sprintf "unknown device %S" name)
+  | None -> Error (Mgr_error.Unknown_device name)
 
 let home_socket topo (d : T.Device.t) =
   let name = Printf.sprintf "socket%d" d.T.Device.socket in
   match T.Topology.device_by_name topo name with
   | Some s -> Ok s
-  | None -> Error (Printf.sprintf "device %s has no home socket %s" d.T.Device.name name)
+  | None -> Error (Mgr_error.No_home_socket { device = d.T.Device.name; socket = name })
 
 let filter_latency latency_bound candidates =
   match latency_bound with
@@ -30,7 +30,9 @@ let filter_latency latency_bound candidates =
   | Some bound -> List.filter (fun p -> T.Path.base_latency p <= bound) candidates
 
 let compile topo ?(k_paths = 4) (intent : Intent.t) =
-  let* () = Intent.validate intent in
+  let* () =
+    Result.map_error (fun why -> Mgr_error.Invalid_intent why) (Intent.validate intent)
+  in
   let compile_target = function
     | Intent.Pipe { src; dst; rate } ->
       let* s = find_device topo src in
@@ -40,8 +42,7 @@ let compile topo ?(k_paths = 4) (intent : Intent.t) =
         |> List.filter (fun (p : T.Path.t) -> p.T.Path.hops <> [])
         |> filter_latency intent.Intent.latency_bound
       in
-      if candidates = [] then
-        Error (Printf.sprintf "no feasible path %s -> %s (latency bound too tight?)" src dst)
+      if candidates = [] then Error (Mgr_error.No_path { src; dst })
       else
         Ok
           [
@@ -62,14 +63,12 @@ let compile topo ?(k_paths = 4) (intent : Intent.t) =
       let* up =
         match T.Routing.shortest_path topo e.T.Device.id sock.T.Device.id with
         | Some p when p.T.Path.hops <> [] -> Ok p
-        | Some _ | None ->
-          Error (Printf.sprintf "no uplink path from %s to its socket" endpoint)
+        | Some _ | None -> Error (Mgr_error.No_uplink endpoint)
       in
       let* down =
         match T.Routing.shortest_path topo sock.T.Device.id e.T.Device.id with
         | Some p when p.T.Path.hops <> [] -> Ok p
-        | Some _ | None ->
-          Error (Printf.sprintf "no downlink path from socket to %s" endpoint)
+        | Some _ | None -> Error (Mgr_error.No_downlink endpoint)
       in
       let mk kind rate (path : T.Path.t) =
         {

@@ -24,8 +24,10 @@ type requirement = {
 }
 
 val compile :
-  Ihnet_topology.Topology.t -> ?k_paths:int -> Intent.t -> (requirement list, string) result
+  Ihnet_topology.Topology.t -> ?k_paths:int -> Intent.t -> (requirement list, Mgr_error.t) result
 (** [k_paths] (default 4) bounds the candidate set per pipe. Fails on
-    unknown device names, unreachable pairs, or invalid intents. A
-    [latency_bound] drops candidate paths whose base latency exceeds
-    it (and fails if none survives). *)
+    unknown device names ({!Mgr_error.Unknown_device}), unreachable
+    pairs ({!Mgr_error.No_path}/[No_uplink]/[No_downlink]), or invalid
+    intents ({!Mgr_error.Invalid_intent}). A [latency_bound] drops
+    candidate paths whose base latency exceeds it (and fails if none
+    survives). *)

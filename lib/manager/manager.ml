@@ -2,6 +2,20 @@ module Fabric = Ihnet_engine.Fabric
 module Flow = Ihnet_engine.Flow
 module T = Ihnet_topology
 
+type error = Mgr_error.t =
+  | Invalid_intent of string
+  | Unknown_device of string
+  | No_home_socket of { device : string; socket : string }
+  | No_path of { src : string; dst : string }
+  | No_uplink of string
+  | No_downlink of string
+  | Capacity_exhausted of { tenant : int; rate : float; best_ratio : float }
+  | Not_a_pipe
+  | No_alternate_path
+
+let error_to_string = Mgr_error.to_string
+let pp_error = Mgr_error.pp
+
 type t = {
   fabric : Fabric.t;
   k_paths : int;
@@ -89,7 +103,7 @@ let affected_placements t link =
    endpoint's only uplink and cannot be re-placed. *)
 let replace_placement t ~avoid (p : Placement.t) =
   let ( let* ) = Result.bind in
-  if p.Placement.kind <> Placement.Pipe_fwd then Error "only pipe placements can be re-placed"
+  if p.Placement.kind <> Placement.Pipe_fwd then Error Mgr_error.Not_a_pipe
   else begin
     let topo = Fabric.topology t.fabric in
     let name d = (T.Topology.device topo d).T.Device.name in
@@ -113,7 +127,7 @@ let replace_placement t ~avoid (p : Placement.t) =
              && links <> path_links p.Placement.path)
     in
     let rec try_move = function
-      | [] -> Error "no alternate pathway clears the degraded link(s)"
+      | [] -> Error Mgr_error.No_alternate_path
       | c :: rest -> if Scheduler.move t.scheduler p c then Ok c else try_move rest
     in
     let* new_path = try_move candidates in

@@ -8,8 +8,28 @@
       match Manager.submit mgr (Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0"
                                   ~rate:(Units.gbps 20.0)) with
       | Ok _ -> (* tenant 1's ext->socket0 flows now hold 2.5 GB/s *)
-      | Error reason -> (* admission refused, capacity exhausted *)
+      | Error (Capacity_exhausted _) -> (* admission refused *)
+      | Error e -> failwith (Manager.error_to_string e)
     ]} *)
+
+type error = Mgr_error.t =
+  | Invalid_intent of string
+  | Unknown_device of string
+  | No_home_socket of { device : string; socket : string }
+  | No_path of { src : string; dst : string }
+  | No_uplink of string
+  | No_downlink of string
+  | Capacity_exhausted of { tenant : int; rate : float; best_ratio : float }
+  | Not_a_pipe
+  | No_alternate_path
+      (** Everything admission and re-placement can refuse, re-exported
+          from {!Mgr_error} so callers can match on the cause instead of
+          parsing message strings. *)
+
+val error_to_string : error -> string
+(** Byte-identical to the messages of the old stringly API. *)
+
+val pp_error : Format.formatter -> error -> unit
 
 type t
 
@@ -25,7 +45,7 @@ val fabric : t -> Ihnet_engine.Fabric.t
 val scheduler : t -> Scheduler.t
 val arbiter : t -> Arbiter.t
 
-val submit : t -> Intent.t -> (Placement.t list, string) result
+val submit : t -> Intent.t -> (Placement.t list, error) result
 (** Compile, schedule (all-or-nothing admission), and hand the
     placements to the arbiter. *)
 
@@ -47,7 +67,7 @@ val affected_placements : t -> Ihnet_topology.Link.id -> Placement.t list
     radius of a fault on it. *)
 
 val replace_placement :
-  t -> avoid:Ihnet_topology.Link.id list -> Placement.t -> (Ihnet_topology.Path.t, string) result
+  t -> avoid:Ihnet_topology.Link.id list -> Placement.t -> (Ihnet_topology.Path.t, error) result
 (** Re-place a pipe placement onto an alternate path avoiding every
     link in [avoid]: recompile the equivalent intent for fresh
     candidates, migrate the reservation ledger ({!Scheduler.move}) to

@@ -1,0 +1,29 @@
+type t =
+  | Invalid_intent of string
+  | Unknown_device of string
+  | No_home_socket of { device : string; socket : string }
+  | No_path of { src : string; dst : string }
+  | No_uplink of string
+  | No_downlink of string
+  | Capacity_exhausted of { tenant : int; rate : float; best_ratio : float }
+  | Not_a_pipe
+  | No_alternate_path
+
+(* The strings are the exact messages the stringly API used to return,
+   so anything that logged or displayed them is unchanged. *)
+let to_string = function
+  | Invalid_intent why -> why
+  | Unknown_device name -> Printf.sprintf "unknown device %S" name
+  | No_home_socket { device; socket } ->
+    Printf.sprintf "device %s has no home socket %s" device socket
+  | No_path { src; dst } ->
+    Printf.sprintf "no feasible path %s -> %s (latency bound too tight?)" src dst
+  | No_uplink endpoint -> Printf.sprintf "no uplink path from %s to its socket" endpoint
+  | No_downlink endpoint -> Printf.sprintf "no downlink path from socket to %s" endpoint
+  | Capacity_exhausted { tenant; rate; best_ratio } ->
+    Printf.sprintf "tenant %d: no pathway can hold %.2f GB/s (best bottleneck %.0f%%)" tenant
+      (rate /. 1e9) (best_ratio *. 100.0)
+  | Not_a_pipe -> "only pipe placements can be re-placed"
+  | No_alternate_path -> "no alternate pathway clears the degraded link(s)"
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

@@ -1,0 +1,33 @@
+(** Typed control-plane errors.
+
+    Everything the manager's admission pipeline — intent validation,
+    the interpreter, the scheduler, re-placement — can refuse, as one
+    variant instead of an opaque string, so callers (remediation, the
+    experiments, [ihnetctl]) can match on the cause. {!to_string}
+    renders the exact messages the old [(_, string) result] API
+    produced, so logs and CLI output are stable across the change.
+    Re-exported as [Manager.error]. *)
+
+type t =
+  | Invalid_intent of string  (** The intent failed {!Intent.validate}. *)
+  | Unknown_device of string  (** No device with this name in the topology. *)
+  | No_home_socket of { device : string; socket : string }
+      (** A hose endpoint's socket device is missing from the topology. *)
+  | No_path of { src : string; dst : string }
+      (** No candidate pathway between the pipe endpoints survives the
+          latency bound. *)
+  | No_uplink of string  (** Hose endpoint cannot reach its home socket. *)
+  | No_downlink of string  (** Home socket cannot reach the hose endpoint. *)
+  | Capacity_exhausted of { tenant : int; rate : float; best_ratio : float }
+      (** Admission refused: every candidate would push some hop past
+          the headroom. [rate] is in bytes/s; [best_ratio] is the least
+          post-placement bottleneck ratio among the candidates (> 1). *)
+  | Not_a_pipe  (** Only pipe placements can be re-placed. *)
+  | No_alternate_path
+      (** No candidate pathway clears the degraded link(s) during
+          re-placement. *)
+
+val to_string : t -> string
+(** Human-readable message; byte-identical to the pre-typed API. *)
+
+val pp : Format.formatter -> t -> unit

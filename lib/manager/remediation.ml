@@ -254,7 +254,10 @@ let act t c vs =
         | Ok _ ->
           record ~impact:true t c
             (Printf.sprintf "re-placed t%d onto alternate path" p.Placement.tenant)
-        | Error why -> record t c (Printf.sprintf "re-place t%d failed: %s" p.Placement.tenant why))
+        | Error why ->
+          record t c
+            (Printf.sprintf "re-place t%d failed: %s" p.Placement.tenant
+               (Mgr_error.to_string why)))
       vs
   | Degrade ->
     List.iter

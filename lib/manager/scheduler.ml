@@ -53,8 +53,8 @@ let place t (req : Interpreter.requirement) =
       List.fold_left (fun acc (r, _) -> Float.min acc r) infinity scored
     in
     Error
-      (Printf.sprintf "tenant %d: no pathway can hold %.2f GB/s (best bottleneck %.0f%%)"
-         req.Interpreter.tenant (req.Interpreter.rate /. 1e9) (best *. 100.0))
+      (Mgr_error.Capacity_exhausted
+         { tenant = req.Interpreter.tenant; rate = req.Interpreter.rate; best_ratio = best })
   | (_, path) :: _ ->
     charge t path req.Interpreter.rate;
     Ok

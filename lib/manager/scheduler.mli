@@ -25,12 +25,13 @@ val reserved : t -> Ihnet_topology.Link.id -> Ihnet_topology.Link.dir -> float
 val reservation_ratio : t -> Ihnet_topology.Link.id -> Ihnet_topology.Link.dir -> float
 (** reserved / (headroom × capacity). *)
 
-val place : t -> Interpreter.requirement -> (Placement.t, string) result
+val place : t -> Interpreter.requirement -> (Placement.t, Mgr_error.t) result
 (** Choose a path and record the reservation. The returned placement is
-    already charged to the ledger. *)
+    already charged to the ledger. Refusal is always
+    {!Mgr_error.Capacity_exhausted}. *)
 
 val place_all :
-  t -> Interpreter.requirement list -> (Placement.t list, string) result
+  t -> Interpreter.requirement list -> (Placement.t list, Mgr_error.t) result
 (** All-or-nothing: on failure the ledger is rolled back to its state
     before the call. *)
 

@@ -116,7 +116,7 @@ let drive_e17 ~sink =
     match M.Manager.submit mgr (M.Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate) with
     | Ok [ p ] -> p
     | Ok _ -> failwith "golden-e17: expected one placement"
-    | Error e -> failwith ("golden-e17: admission refused: " ^ e)
+    | Error e -> failwith ("golden-e17: admission refused: " ^ M.Mgr_error.to_string e)
   in
   let f =
     E.Fabric.start_flow fab ~tenant:1 ~demand:rate ~path:p.M.Placement.path

@@ -248,12 +248,12 @@ let apply st (op : Trace.op) =
 
 (* {1 The engine} *)
 
-let run ?setup ?perturb (trace : Trace.t) =
+let run ?setup ?perturb ?domains (trace : Trace.t) =
   match topology_of_preset trace.Trace.header.Trace.preset trace.Trace.header.Trace.host_config with
   | Error e -> Error e
   | Ok topo ->
     let sim = E.Sim.create () in
-    let fab = E.Fabric.create ~seed:trace.Trace.header.Trace.seed sim topo in
+    let fab = E.Fabric.create ~seed:trace.Trace.header.Trace.seed ?domains sim topo in
     let st =
       {
         sim;
@@ -381,8 +381,8 @@ let run ?setup ?perturb (trace : Trace.t) =
         final_at = (if final_at = infinity then E.Sim.now sim else final_at);
       }
 
-let replay_file ?setup ?perturb path =
-  match Trace.load path with Error e -> Error e | Ok trace -> run ?setup ?perturb trace
+let replay_file ?setup ?perturb ?domains path =
+  match Trace.load path with Error e -> Error e | Ok trace -> run ?setup ?perturb ?domains trace
 
 let ok (r : report) = r.divergences = 0 && r.invariant_failures = []
 

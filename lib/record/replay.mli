@@ -36,19 +36,25 @@ type report = {
 val run :
   ?setup:(Ihnet_engine.Sim.t -> Ihnet_engine.Fabric.t -> unit) ->
   ?perturb:float * (Ihnet_engine.Fabric.t -> Ihnet_engine.Flow.t list -> unit) ->
+  ?domains:int ->
   Trace.t ->
   (report, string) result
 (** Replay a parsed trace. [setup] runs on the fresh host before any
     command (tests use it to attach observers). [perturb] schedules a
     deliberate mutation at the given time — the callback receives the
     fabric and the currently running replayed flows — to verify that
-    divergence detection actually fires. [Error] means the trace could
-    not be replayed at all (unknown preset, malformed header);
-    divergences during a well-formed replay land in the report. *)
+    divergence detection actually fires. [domains] sizes the replay
+    fabric's reallocation pool ({!Ihnet_engine.Fabric.create}); by the
+    determinism contract the report must be identical for every width,
+    which is exactly what the conformance CI checks. [Error] means the
+    trace could not be replayed at all (unknown preset, malformed
+    header); divergences during a well-formed replay land in the
+    report. *)
 
 val replay_file :
   ?setup:(Ihnet_engine.Sim.t -> Ihnet_engine.Fabric.t -> unit) ->
   ?perturb:float * (Ihnet_engine.Fabric.t -> Ihnet_engine.Flow.t list -> unit) ->
+  ?domains:int ->
   string ->
   (report, string) result
 

@@ -421,7 +421,11 @@ let rate_limiter_tests =
             migration_refill = U.Units.ms 1000.0;
           }
         in
-        let rem = Ihnet.Host.enable_remediation host ~config ~use_heartbeat:false () in
+        let rem =
+          Ihnet.Host.enable_remediation host ~config
+            ~wiring:{ Ihnet.Host.default_wiring with Ihnet.Host.heartbeat = false }
+            ()
+        in
         (* no evidence gate: without one every verdict counts as
            corroborated, so only the bucket stands between the case and
            a migration *)
@@ -509,12 +513,16 @@ let run_interleaving cmds =
             in
             ignore (R.Manager.attach mgr f))
           ps
-      | Error e -> QCheck.Test.fail_reportf "admission refused: %s" e)
+      | Error e -> QCheck.Test.fail_reportf "admission refused: %s" (R.Mgr_error.to_string e))
     [
       R.Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:(U.Units.gbytes_per_s 8.0);
       R.Intent.pipe ~tenant:2 ~src:"gpu0" ~dst:"socket0" ~rate:(U.Units.gbytes_per_s 4.0);
     ];
-  let rem = Ihnet.Host.enable_remediation host ~use_heartbeat:true ~use_evidence:true () in
+  let rem =
+    Ihnet.Host.enable_remediation host
+      ~wiring:{ Ihnet.Host.default_wiring with Ihnet.Host.evidence = true }
+      ()
+  in
   ignore (Ihnet.Host.start_monitoring host ());
   let topo = Ihnet.Host.topology host in
   let pcie =

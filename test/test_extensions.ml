@@ -296,7 +296,7 @@ let slo_tests =
         let mgr = R.Manager.create fab () in
         (match R.Manager.submit mgr (R.Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:1e9) with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Ihnet_manager.Mgr_error.to_string e));
         let report = R.Slo.check mgr in
         (match report.R.Slo.entries with
         | [ e ] -> Alcotest.(check bool) "inactive" true (e.R.Slo.state = R.Slo.Inactive)
@@ -306,7 +306,7 @@ let slo_tests =
         let mgr = R.Manager.create fab () in
         (match R.Manager.submit mgr (R.Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:5e9) with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Ihnet_manager.Mgr_error.to_string e));
         let p = T.Path.concat (path fab "ext" "nic0") (path fab "nic0" "socket0") in
         let f = E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:E.Flow.Unbounded () in
         ignore (R.Manager.attach mgr f);
@@ -321,7 +321,7 @@ let slo_tests =
         let mgr = R.Manager.create fab () in
         (match R.Manager.submit mgr (R.Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:5e9) with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Ihnet_manager.Mgr_error.to_string e));
         let p = T.Path.concat (path fab "ext" "nic0") (path fab "nic0" "socket0") in
         let f = E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:E.Flow.Unbounded () in
         ignore (R.Manager.attach mgr f);
@@ -338,7 +338,7 @@ let slo_tests =
         let mgr = R.Manager.create fab () in
         (match R.Manager.submit mgr (R.Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:5e9) with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Ihnet_manager.Mgr_error.to_string e));
         let p = T.Path.concat (path fab "ext" "nic0") (path fab "nic0" "socket0") in
         (* the tenant only offers 100 MB/s of its 5 GB/s guarantee *)
         let f = E.Fabric.start_flow fab ~tenant:1 ~demand:1e8 ~path:p ~size:E.Flow.Unbounded () in
@@ -355,7 +355,7 @@ let slo_tests =
             R.Intent.latency_bound = Some (U.Units.us 1.0);
           }
         in
-        (match R.Manager.submit mgr intent with Ok _ -> () | Error e -> Alcotest.fail e);
+        (match R.Manager.submit mgr intent with Ok _ -> () | Error e -> Alcotest.fail (Ihnet_manager.Mgr_error.to_string e));
         let p = path fab "nic1" "socket0" in
         let f = E.Fabric.start_flow fab ~tenant:1 ~demand:1e8 ~path:p ~size:E.Flow.Unbounded () in
         ignore (R.Manager.attach mgr f);
@@ -452,7 +452,7 @@ let vnet_sim_tests =
            RM.Manager.submit mgr (RM.Intent.pipe ~tenant:1 ~src:"nic1" ~dst:"socket0" ~rate:4e9)
          with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Ihnet_manager.Mgr_error.to_string e));
         let vnet = RM.Manager.vnet mgr ~tenant:1 in
         (* the vnet is an ordinary topology: boot a fabric on it *)
         let vsim = E.Sim.create () in

@@ -86,7 +86,7 @@ let scenario_tests =
                 ~rate:(U.Units.gbps 4.0))
          with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Manager.error_to_string e));
         Host.run_for h (U.Units.ms 30.0);
         Alcotest.(check bool) "manager engaged" true (R.Manager.decisions mgr > 0);
         Alcotest.(check bool) "kv keeps its rate under management" true
@@ -98,11 +98,16 @@ let scenario_tests =
         let fab = Host.fabric h in
         let sampler =
           Host.start_monitoring h
-            ~config:
+            ~wiring:
               {
-                (Mon.Sampler.default_config ()) with
-                Mon.Sampler.period = U.Units.us 100.0;
-                fidelity = Mon.Counter.Oracle;
+                Host.default_wiring with
+                Host.sampler =
+                  Some
+                    {
+                      (Mon.Sampler.default_config ()) with
+                      Mon.Sampler.period = U.Units.us 100.0;
+                      fidelity = Mon.Counter.Oracle;
+                    };
               }
             ()
         in

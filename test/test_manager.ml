@@ -51,7 +51,7 @@ let interpreter_tests =
     tc "pipe compiles to candidates" (fun () ->
         let topo, _, _ = make_host () in
         match Interpreter.compile topo (Intent.pipe ~tenant:1 ~src:"gpu0" ~dst:"ssd0" ~rate:1e9) with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Mgr_error.to_string e)
         | Ok [ req ] ->
           Alcotest.(check bool) "has candidates" true (req.Interpreter.candidates <> []);
           Alcotest.(check bool) "pipe kind" true (req.Interpreter.kind = Placement.Pipe_fwd)
@@ -61,7 +61,7 @@ let interpreter_tests =
         match
           Interpreter.compile topo (Intent.hose ~tenant:1 ~endpoint:"nic0" ~to_host:1e9 ~from_host:2e9)
         with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Mgr_error.to_string e)
         | Ok reqs ->
           Alcotest.(check int) "two" 2 (List.length reqs);
           Alcotest.(check bool) "kinds" true
@@ -100,7 +100,7 @@ let scheduler_tests =
         (* nic1 is behind a ~31.5 GB/s x16 slot; 0.9 headroom = ~28.3 *)
         (match Scheduler.place sched (compile 20e9) with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Mgr_error.to_string e));
         (match Scheduler.place sched (compile 20e9) with
         | Ok _ -> Alcotest.fail "should not fit"
         | Error _ -> ()));
@@ -115,7 +115,7 @@ let scheduler_tests =
           | Ok _ | Error _ -> Alcotest.fail "compile failed"
         in
         let p =
-          match Scheduler.place sched req with Ok p -> p | Error e -> Alcotest.fail e
+          match Scheduler.place sched req with Ok p -> p | Error e -> Alcotest.fail (Mgr_error.to_string e)
         in
         Alcotest.(check bool) "reserved" true (Scheduler.total_reserved sched > 0.0);
         Scheduler.release sched p;
@@ -147,12 +147,12 @@ let scheduler_tests =
         let p1 =
           match Scheduler.place sched (compile "dimm0.0.0") with
           | Ok p -> p
-          | Error e -> Alcotest.fail e
+          | Error e -> Alcotest.fail (Mgr_error.to_string e)
         in
         let p2 =
           match Scheduler.place sched (compile "dimm0.0.0") with
           | Ok p -> p
-          | Error e -> Alcotest.fail e
+          | Error e -> Alcotest.fail (Mgr_error.to_string e)
         in
         (* second placement must avoid the first's saturated DDR channel
            only if capacity forces it; at 10e9 each on a 25.6e9 channel
@@ -172,11 +172,11 @@ let scheduler_tests =
               (Intent.hose ~tenant:1 ~endpoint:"nic0" ~to_host:10e9 ~from_host:0.0)
           with
           | Ok rs -> rs
-          | Error e -> Alcotest.fail e
+          | Error e -> Alcotest.fail (Mgr_error.to_string e)
         in
         (match Scheduler.place_all hose_sched hose_req with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Mgr_error.to_string e));
         let pipe_sched = Scheduler.create topo () in
         let pipe_reqs =
           List.concat_map
@@ -185,12 +185,12 @@ let scheduler_tests =
                 Interpreter.compile topo (Intent.pipe ~tenant:1 ~src:"nic0" ~dst ~rate:5e9)
               with
               | Ok rs -> rs
-              | Error e -> Alcotest.fail e)
+              | Error e -> Alcotest.fail (Mgr_error.to_string e))
             [ "dimm0.0.0"; "dimm0.1.0" ]
         in
         (match Scheduler.place_all pipe_sched pipe_reqs with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Mgr_error.to_string e));
         Alcotest.(check bool) "hose cheaper" true
           (Scheduler.total_reserved hose_sched < Scheduler.total_reserved pipe_sched));
   ]
@@ -206,7 +206,7 @@ let arbiter_tests =
            Manager.submit mgr (Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:5e9)
          with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Mgr_error.to_string e));
         let p = path fab "ext" "socket0" in
         let victim = E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:E.Flow.Unbounded () in
         Alcotest.(check bool) "attached" true (Manager.attach mgr victim);
@@ -221,7 +221,7 @@ let arbiter_tests =
         let mgr = Manager.create fab () in
         (match Manager.submit mgr (Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:6e9) with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Mgr_error.to_string e));
         let p = path fab "ext" "socket0" in
         let f1 = E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:E.Flow.Unbounded () in
         let f2 = E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:E.Flow.Unbounded () in
@@ -239,7 +239,7 @@ let arbiter_tests =
             Intent.work_conserving = false;
           }
         in
-        (match Manager.submit mgr intent with Ok _ -> () | Error e -> Alcotest.fail e);
+        (match Manager.submit mgr intent with Ok _ -> () | Error e -> Alcotest.fail (Mgr_error.to_string e));
         let p = path fab "ext" "socket0" in
         let f = E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:E.Flow.Unbounded () in
         ignore (Manager.attach mgr f);
@@ -250,7 +250,7 @@ let arbiter_tests =
         let mgr = Manager.create fab () in
         (match Manager.submit mgr (Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:2e9) with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Mgr_error.to_string e));
         let p = path fab "ext" "socket0" in
         let f = E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:E.Flow.Unbounded () in
         ignore (Manager.attach mgr f);
@@ -262,7 +262,7 @@ let arbiter_tests =
         Manager.start_shim mgr ~period:(U.Units.us 50.0);
         (match Manager.submit mgr (Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:5e9) with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Mgr_error.to_string e));
         let p = path fab "ext" "socket0" in
         let f = E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:E.Flow.Unbounded () in
         E.Sim.run ~until:(U.Units.us 200.0) sim;
@@ -274,7 +274,7 @@ let arbiter_tests =
         let mgr = Manager.create fab () in
         (match Manager.submit mgr (Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:5e9) with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Mgr_error.to_string e));
         let p = path fab "ext" "socket0" in
         let f = E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:E.Flow.Unbounded () in
         ignore (Manager.attach mgr f);
@@ -286,7 +286,7 @@ let arbiter_tests =
         let mgr = Manager.create fab () in
         (match Manager.submit mgr (Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:5e9) with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Mgr_error.to_string e));
         Alcotest.(check bool) "placed" true (Manager.placements mgr <> []);
         Manager.revoke mgr ~tenant:1;
         Alcotest.(check (list int)) "no tenants" [] (Manager.tenants mgr);
@@ -301,7 +301,7 @@ let arbiter_tests =
         Manager.start_shim mgr ~period:(U.Units.us 50.0);
         (match Manager.submit mgr (Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:6e9) with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Mgr_error.to_string e));
         let p =
           T.Path.concat (path fab "ext" "nic0") (path fab "nic0" "socket0")
         in
@@ -340,7 +340,7 @@ let arbiter_tests =
         let mgr = Manager.create fab ~reaction_delay:(U.Units.us 100.0) () in
         (match Manager.submit mgr (Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:5e9) with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Mgr_error.to_string e));
         let p = path fab "ext" "socket0" in
         let f = E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:E.Flow.Unbounded () in
         ignore (Manager.attach mgr f);
@@ -360,7 +360,7 @@ let hose_tests =
            Manager.submit mgr (Intent.hose ~tenant:1 ~endpoint:"nic0" ~to_host:5e9 ~from_host:0.0)
          with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Mgr_error.to_string e));
         let via_nic0 = E.Fabric.start_flow fab ~tenant:1 ~path:(path fab "nic0" "socket0") ~size:E.Flow.Unbounded () in
         let via_nic1 = E.Fabric.start_flow fab ~tenant:1 ~path:(path fab "nic1" "socket0") ~size:E.Flow.Unbounded () in
         Alcotest.(check bool) "nic0 flow matches" true (Manager.attach mgr via_nic0);
@@ -372,7 +372,7 @@ let hose_tests =
            Manager.submit mgr (Intent.hose ~tenant:1 ~endpoint:"nic0" ~to_host:0.0 ~from_host:5e9)
          with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Mgr_error.to_string e));
         let out_nic0 = E.Fabric.start_flow fab ~tenant:1 ~path:(path fab "socket0" "nic0") ~size:E.Flow.Unbounded () in
         (* same socket, different endpoint: must NOT be charged to nic0's hose *)
         let out_gpu0 = E.Fabric.start_flow fab ~tenant:1 ~path:(path fab "socket0" "gpu0") ~size:E.Flow.Unbounded () in
@@ -385,7 +385,7 @@ let hose_tests =
            Manager.submit mgr (Intent.hose ~tenant:1 ~endpoint:"nic0" ~to_host:5e9 ~from_host:0.0)
          with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Mgr_error.to_string e));
         let foreign = E.Fabric.start_flow fab ~tenant:2 ~path:(path fab "nic0" "socket0") ~size:E.Flow.Unbounded () in
         Alcotest.(check bool) "no match" false (Manager.attach mgr foreign));
   ]
@@ -399,7 +399,7 @@ let vnet_tests =
         let mgr = Manager.create fab () in
         (match Manager.submit mgr (Intent.pipe ~tenant:1 ~src:"nic1" ~dst:"socket0" ~rate:4e9) with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Mgr_error.to_string e));
         let v = Manager.vnet mgr ~tenant:1 in
         Alcotest.(check bool) "has devices" true (T.Topology.device_count v > 0);
         List.iter

@@ -23,7 +23,7 @@ let submit_one mgr intent =
   match Manager.submit mgr intent with
   | Ok [ p ] -> p
   | Ok _ -> Alcotest.fail "expected one placement"
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Mgr_error.to_string e)
 
 let run_for sim d = E.Sim.run ~until:(E.Sim.now sim +. d) sim
 
@@ -314,7 +314,7 @@ let remediation_tests =
         match
           Manager.submit mgr (Intent.hose ~tenant:1 ~endpoint:"nic0" ~to_host:1e9 ~from_host:1e9)
         with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Mgr_error.to_string e)
         | Ok (p :: _) ->
           Alcotest.(check bool) "error" true
             (Result.is_error (Manager.replace_placement mgr ~avoid:[] p))

@@ -43,11 +43,16 @@ let soak ?record_buf () =
   (* monitoring stack *)
   let sampler =
     Ihnet.Host.start_monitoring host
-      ~config:
+      ~wiring:
         {
-          (Mon.Sampler.default_config ()) with
-          Mon.Sampler.period = U.Units.us 200.0;
-          fidelity = Mon.Counter.Oracle;
+          Ihnet.Host.default_wiring with
+          Ihnet.Host.sampler =
+            Some
+              {
+                (Mon.Sampler.default_config ()) with
+                Mon.Sampler.period = U.Units.us 200.0;
+                fidelity = Mon.Counter.Oracle;
+              };
         }
       ()
   in
@@ -59,7 +64,7 @@ let soak ?record_buf () =
        (R.Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:(U.Units.gbps 4.0))
    with
   | Ok _ -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (R.Mgr_error.to_string e));
   (* steady workloads *)
   let kv = W.Kvstore.start fab (W.Kvstore.default_config ~tenant:1 ~nic:"nic0") in
   let ml =
