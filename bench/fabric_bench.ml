@@ -19,9 +19,11 @@
      component IS the full flow set, so only the allocator speedup
      shows, not the scoping.
 
-   Usage: fabric_bench [--smoke] [-o FILE]
+   Usage: fabric_bench [--smoke] [-o FILE] [--subject NAME]...
    --smoke runs every subject exactly once (CI liveness check) and
-   writes no file. *)
+   writes no file. --subject restricts the run to the named subject(s)
+   (repeatable) — used by the CI bench-regression smoke step to time
+   only the sentinel subject. *)
 
 module U = Ihnet_util
 module E = Ihnet_engine
@@ -31,11 +33,11 @@ module Mon = Ihnet_monitor
 module Rec = Ihnet_record
 
 let usage () =
-  prerr_endline "usage: fabric_bench [--smoke] [-o FILE]";
+  prerr_endline "usage: fabric_bench [--smoke] [-o FILE] [--subject NAME]...";
   exit 2
 
-let smoke, out_file =
-  let smoke = ref false and out = ref "BENCH_fabric.json" in
+let smoke, out_file, only =
+  let smoke = ref false and out = ref "BENCH_fabric.json" and only = ref [] in
   let rec parse i =
     if i < Array.length Sys.argv then
       match Sys.argv.(i) with
@@ -45,12 +47,15 @@ let smoke, out_file =
       | "-o" when i + 1 < Array.length Sys.argv ->
           out := Sys.argv.(i + 1);
           parse (i + 2)
+      | "--subject" when i + 1 < Array.length Sys.argv ->
+          only := Sys.argv.(i + 1) :: !only;
+          parse (i + 2)
       | a ->
           Printf.eprintf "fabric_bench: unknown or incomplete argument %S\n" a;
           usage ()
   in
   parse 1;
-  (!smoke, !out)
+  (!smoke, !out, !only)
 
 (* ops/sec of [f], adaptively iterated; one shot in smoke mode *)
 let time_ops f =
@@ -100,10 +105,10 @@ let bench_allocate n =
 
 (* {1 flow-churn-n: start/stop against a loaded fabric} *)
 
-let bench_churn ~nic_of n =
+let bench_churn ?domains ?warm ~nic_of n =
   let topo = T.Builder.dgx_like () in
   let sim = E.Sim.create () in
-  let fab = E.Fabric.create sim topo in
+  let fab = E.Fabric.create ?domains ?warm sim topo in
   let dev name =
     match T.Topology.device_by_name topo name with
     | Some d -> d.T.Device.id
@@ -128,8 +133,21 @@ let bench_churn ~nic_of n =
       let f = E.Fabric.start_flow fab ~tenant:99 ~path:churn_path ~size:E.Flow.Unbounded () in
       E.Fabric.stop_flow fab f)
 
-let bench_churn_local = bench_churn ~nic_of:Fun.id
-let bench_churn_coupled = bench_churn ~nic_of:(fun i -> (i + 3) mod 8)
+let bench_churn_local n = bench_churn ~nic_of:Fun.id n
+let bench_churn_coupled n = bench_churn ~nic_of:(fun i -> (i + 3) mod 8) n
+
+(* flow-churn-warm-4096 pins warm-starting on regardless of IHNET_WARM,
+   so the snapshot always carries one explicitly-warm churn subject to
+   hold against [baseline_pre_warmstart]. *)
+let bench_churn_warm n = bench_churn ~warm:true ~nic_of:Fun.id n
+
+(* flow-churn-coupled-par-* runs the coupled (single giant component)
+   churn at pool widths 1/2/4. One component cannot shard, so these
+   measure the domain pool's overhead on the worst case — the contract
+   is parity with flow-churn-coupled-4096, not speedup — while the
+   determinism contract keeps all three bit-identical. *)
+let bench_churn_coupled_par ~domains n =
+  bench_churn ~domains ~nic_of:(fun i -> (i + 3) mod 8) n
 
 (* {1 flow-churn-par-*: domain-parallel reallocation}
 
@@ -379,16 +397,66 @@ let () =
       ("remediation-idle", bench_remediation_idle);
       ("recorder-idle", bench_recorder_idle);
       ("evidence-idle", bench_evidence_idle);
+      (* new subjects go AFTER every pre-warm-start subject: despite the
+         per-subject compaction above, a subject's throughput is still
+         sensitive to the ambient heap/pool state its predecessors leave
+         behind, so keeping the historical prefix order is what makes
+         the [baseline_pre_warmstart] comparison like-for-like. *)
+      ("flow-churn-warm-4096", fun () -> bench_churn_warm 4096);
+      ("flow-churn-coupled-par-seq-4096", fun () -> bench_churn_coupled_par ~domains:1 4096);
+      ("flow-churn-coupled-par-2-4096", fun () -> bench_churn_coupled_par ~domains:2 4096);
+      ("flow-churn-coupled-par-4-4096", fun () -> bench_churn_coupled_par ~domains:4 4096);
     ]
+  in
+  let subjects =
+    match only with
+    | [] -> subjects
+    | names ->
+        List.iter
+          (fun n ->
+            if not (List.mem_assoc n subjects) then begin
+              Printf.eprintf "fabric_bench: unknown subject %S\n" n;
+              usage ()
+            end)
+          names;
+        List.filter (fun (n, _) -> List.mem n names) subjects
   in
   let results =
     List.map
       (fun (name, f) ->
+        (* decouple subjects: start each from a compacted heap so a
+           fast, allocation-heavy subject can't skew the next one's
+           numbers through inherited GC state *)
+        Gc.compact ();
         let ops = f () in
         if smoke then Printf.printf "%-18s ok\n%!" name
         else Printf.printf "%-18s %12.1f ops/sec\n%!" name ops;
         (name, ops))
       subjects
+  in
+  (* Frozen pre-warmstart measurements (commit before the warm-started
+     solver + component memo landed), taken on the same machine as the
+     committed subjects snapshot: mean of three full runs of this
+     harness built from that commit. Kept in the emitted JSON so every
+     regenerated snapshot still documents the cliff the warm path
+     removed; new warm-era subjects have no pre-warmstart value. *)
+  let baseline_pre_warmstart =
+    [
+      ("allocate-64", 46862.75);
+      ("allocate-512", 9004.39);
+      ("allocate-4096", 1041.73);
+      ("flow-churn-256", 72133.34);
+      ("flow-churn-4096", 3942.28);
+      ("flow-churn-coupled-4096", 138.60);
+      ("flow-churn-par-seq-4096", 315.31);
+      ("flow-churn-par-2-4096", 198.01);
+      ("flow-churn-par-4-4096", 82.40);
+      ("allocate-par-seq-4096", 304.72);
+      ("allocate-par-4-4096", 230.36);
+      ("remediation-idle", 269.76);
+      ("recorder-idle", 250.81);
+      ("evidence-idle", 272.41);
+    ]
   in
   if not smoke then begin
     let oc = open_out out_file in
@@ -398,6 +466,12 @@ let () =
         Printf.fprintf oc "    \"%s\": %.2f%s\n" name ops
           (if i = List.length results - 1 then "" else ","))
       results;
+    output_string oc "  },\n  \"baseline_pre_warmstart\": {\n";
+    List.iteri
+      (fun i (name, ops) ->
+        Printf.fprintf oc "    \"%s\": %.2f%s\n" name ops
+          (if i = List.length baseline_pre_warmstart - 1 then "" else ","))
+      baseline_pre_warmstart;
     output_string oc "  }\n}\n";
     close_out oc;
     Printf.printf "wrote %s\n%!" out_file

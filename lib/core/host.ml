@@ -43,13 +43,13 @@ let default_wiring =
     sampler = None;
   }
 
-let create ?(seed = 42) ?config ?domains preset =
+let create ?(seed = 42) ?config ?domains ?warm preset =
   let topo = build_topology ?config preset in
   (match T.Topology.validate topo with
   | Ok () -> ()
   | Error es -> invalid_arg ("Host.create: invalid topology: " ^ String.concat "; " es));
   let sim = E.Sim.create () in
-  let fabric = E.Fabric.create ~seed ?domains sim topo in
+  let fabric = E.Fabric.create ~seed ?domains ?warm sim topo in
   {
     sim;
     fabric;

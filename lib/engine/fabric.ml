@@ -28,6 +28,38 @@ type socket_mem = {
   from_mem : (int * float) list; (* resources DIMMs->socket *)
 }
 
+(* What a component's allocation pass produces; the socket arrays are
+   full-width (indexed by global socket number) but only the slots in
+   [c_sockets] are meaningful. *)
+type comp_result = {
+  cr_rates : float array; (* per entry, in c_entries order *)
+  cr_write : float array;
+  cr_hit : float array;
+  cr_wb : float array;
+  cr_rr : float array;
+  cr_load : float array; (* per resource, in c_res order *)
+  cr_flows : int array; (* active flow count per resource, c_res order *)
+}
+
+(* Warm-start memo: one fully-computed component result, keyed by the
+   exact inputs [compute_component] read. A hit replays the result
+   without solving; any input difference — a demand record, the
+   connectivity footprint, an effective capacity, the cache config
+   generation — misses and recomputes. Entry identity does not matter,
+   only values: a stopped-and-restarted identical flow legitimately
+   hits. *)
+type comp_memo = {
+  m_dems : Fairshare.demand array; (* snapshot, c_entries order *)
+  m_conn : int array array;
+  m_llc : bool array;
+  m_res : int array;
+  m_sockets : int array;
+  m_caps : float array; (* effective capacities at m_res indices *)
+  m_gen : int; (* cache-config generation at compute time *)
+  m_result : comp_result;
+  mutable m_epoch : int; (* last hit, for LRU within a bucket *)
+}
+
 type t = {
   sim : Sim.t;
   topo : T.Topology.t;
@@ -68,6 +100,12 @@ type t = {
   cheap : (entry * int) U.Heap.t; (* completion times, prio = absolute ns *)
   domains : int; (* requested pool width (1 = sequential) *)
   pool : U.Pool.t option; (* shared domain pool, present iff domains > 1 *)
+  (* warm-started arbitration *)
+  warm : bool; (* memoize component results + warm-start the solver *)
+  comp_cache : (int, comp_memo list) Hashtbl.t; (* min component resource -> memos *)
+  mutable cache_gen : int; (* bumped when the cache config changes *)
+  mutable warm_hits : int;
+  mutable warm_misses : int;
 }
 
 and event =
@@ -171,7 +209,16 @@ let refresh_link_caps t link_id =
 let refresh_all_caps t =
   List.iter (fun (l : T.Link.t) -> refresh_link_caps t l.T.Link.id) (T.Topology.links t.topo)
 
-let create ?(seed = 42) ?domains sim topo =
+(* Warm-started arbitration defaults on; IHNET_WARM=0 forces the cold
+   path everywhere (the escape hatch the determinism tests use to
+   cross-check warm against cold at full fabric scale). *)
+let warm_default () =
+  match Sys.getenv_opt "IHNET_WARM" with
+  | Some ("0" | "off" | "false") -> false
+  | Some _ | None -> true
+
+let create ?(seed = 42) ?domains ?warm sim topo =
+  let warm = match warm with Some w -> w | None -> warm_default () in
   let domains =
     match domains with
     | Some d ->
@@ -235,6 +282,11 @@ let create ?(seed = 42) ?domains sim topo =
       cheap = U.Heap.create ();
       domains;
       pool = (if domains > 1 then Some (U.Pool.get domains) else None);
+      warm;
+      comp_cache = Hashtbl.create 64;
+      cache_gen = 0;
+      warm_hits = 0;
+      warm_misses = 0;
     }
   in
   refresh_all_caps t;
@@ -483,17 +535,6 @@ let collect_components t seeds =
     seeds;
   List.rev !comps
 
-(* What a component's allocation pass produces; the socket arrays are
-   full-width (indexed by global socket number) but only the slots in
-   [c_sockets] are meaningful. *)
-type comp_result = {
-  cr_rates : float array; (* per entry, in c_entries order *)
-  cr_write : float array;
-  cr_hit : float array;
-  cr_wb : float array;
-  cr_rr : float array;
-}
-
 (* Rate computation for one component. Pure with respect to the fabric:
    reads only state that is frozen for the duration of a reallocation
    (caps, cache model, topology, cached demands) and writes only its
@@ -512,6 +553,14 @@ let compute_component t (c : component) =
   and hit = Array.make (max 1 ns) (if ddio_on then 1.0 else 0.0) in
   let base = Array.map (fun e -> e.dem) c.c_entries in
   let rates = ref (Array.make nc 0.0) in
+  (* One solver state carried across the spill iterations (warm mode):
+     iteration k+1 differs from k only in the spill caps, so after the
+     spill set stabilizes — the (wb>0, rr>0) pattern is monotone under
+     the damping, so the demand count changes at most twice — each
+     re-solve takes the incremental path. Cold mode re-solves from
+     scratch; both produce bitwise-identical rates (Fairshare's
+     warm≡cold contract). *)
+  let st = ref None in
   (* the spill fixed point only matters when LLC-targeted flows exist *)
   let any_llc = Array.exists (fun e -> e.flow.Flow.llc_target) c.c_entries in
   let iterations = if Array.length c.c_sockets > 0 && any_llc then 4 else 1 in
@@ -526,7 +575,15 @@ let compute_component t (c : component) =
           if rr.(s) > 0.0 then spills := spill_demand rr.(s) sm.from_mem :: !spills)
       c.c_sockets;
     let demands = Array.append base (Array.of_list !spills) in
-    let all = Fairshare.allocate ~capacities:t.caps demands in
+    let all =
+      if not t.warm then Fairshare.allocate ~capacities:t.caps demands
+      else begin
+        (match !st with
+        | Some s when Fairshare.state_size s = Array.length demands -> Fairshare.reset s demands
+        | Some _ | None -> st := Some (Fairshare.make_state ~capacities:t.caps demands));
+        Fairshare.allocate_warm (Option.get !st)
+      end
+    in
     rates := Array.sub all 0 nc;
     (* recompute spill targets from the allocated LLC write rates *)
     Array.iter (fun s -> write.(s) <- 0.0) c.c_sockets;
@@ -550,7 +607,39 @@ let compute_component t (c : component) =
         rr.(s) <- (rr.(s) +. target_rr) /. 2.0)
       c.c_sockets
   done;
-  { cr_rates = !rates; cr_write = write; cr_hit = hit; cr_wb = wb; cr_rr = rr }
+  let rates = !rates in
+  (* Pre-aggregate the component-local loads and flow counts here (in
+     the memoizable, pool-runnable part) so commit is O(resources)
+     stores instead of O(entries x usage) list walks. The accumulation
+     order — entry-major over usages, then socket spill terms — is
+     exactly the order the commit-side recomputation used, so the float
+     sums are bitwise identical. *)
+  let loadb = Array.make t.nr 0.0 and flowsb = Array.make t.nr 0 in
+  Array.iteri
+    (fun i e ->
+      List.iter
+        (fun (res, coeff) ->
+          loadb.(res) <- loadb.(res) +. (rates.(i) *. coeff);
+          flowsb.(res) <- flowsb.(res) + 1)
+        e.usage)
+    c.c_entries;
+  Array.iter
+    (fun s ->
+      match t.socket_mems.(s) with
+      | None -> ()
+      | Some sm ->
+        List.iter (fun (res, co) -> loadb.(res) <- loadb.(res) +. (wb.(s) *. co)) sm.to_mem;
+        List.iter (fun (res, co) -> loadb.(res) <- loadb.(res) +. (rr.(s) *. co)) sm.from_mem)
+    c.c_sockets;
+  {
+    cr_rates = rates;
+    cr_write = write;
+    cr_hit = hit;
+    cr_wb = wb;
+    cr_rr = rr;
+    cr_load = Array.map (fun res -> loadb.(res)) c.c_res;
+    cr_flows = Array.map (fun res -> flowsb.(res)) c.c_res;
+  }
 
 (* Commit one component's result into the fabric. Always runs on the
    coordinating domain, in canonical component order, so rate stores,
@@ -573,35 +662,120 @@ let commit_component t tnow (c : component) (r : comp_result) =
       t.spill_wb.(s) <- r.cr_wb.(s);
       t.spill_rr.(s) <- r.cr_rr.(s))
     c.c_sockets;
-  (* recompute loads and per-resource flow counts, component-local *)
-  Array.iter
-    (fun res ->
-      t.load.(res) <- 0.0;
-      t.flows_on.(res) <- 0)
-    c.c_res;
-  Array.iter
-    (fun e ->
-      List.iter
-        (fun (res, coeff) ->
-          t.load.(res) <- t.load.(res) +. (e.flow.Flow.rate *. coeff);
-          t.flows_on.(res) <- t.flows_on.(res) + 1)
-        e.usage)
-    c.c_entries;
-  Array.iter
-    (fun s ->
-      match t.socket_mems.(s) with
-      | None -> ()
-      | Some sm ->
-        List.iter (fun (res, co) -> t.load.(res) <- t.load.(res) +. (r.cr_wb.(s) *. co)) sm.to_mem;
-        List.iter (fun (res, co) -> t.load.(res) <- t.load.(res) +. (r.cr_rr.(s) *. co)) sm.from_mem)
-    c.c_sockets
+  (* loads and per-resource flow counts were pre-aggregated (in this
+     exact float order) by compute_component; just store them *)
+  Array.iteri
+    (fun i res ->
+      t.load.(res) <- r.cr_load.(i);
+      t.flows_on.(res) <- r.cr_flows.(i))
+    c.c_res
+
+(* {2 Component-result memo}
+
+   [compute_component] is a pure function of (demand records, conn
+   footprints, llc flags, effective capacities at the component's
+   resources, cache config) — so its whole result can be replayed
+   whenever those inputs recur. This is what makes coupled churn
+   cheap: starting/stopping a flow perturbs one giant component, but
+   the steady state alternates between exactly two component values,
+   and after the first lap both are memoized.
+
+   All comparisons are exact: [feq] compares float bits (the recorder
+   digests raw rate bits, so -0.0 vs 0.0 or any ULP would fork the
+   trace), and the hot path is pointer equality on the immutable
+   per-entry [dem]/[conn] records. Lookups and stores run only on the
+   coordinating domain — never from the pool. *)
+
+let feq (a : float) (b : float) = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let int_array_eq (a : int array) (b : int array) =
+  a == b
+  || (Array.length a = Array.length b
+     &&
+     let n = Array.length a in
+     let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+     go 0)
+
+let usage_eq u1 u2 =
+  u1 == u2 || List.equal (fun (r1, c1) (r2, c2) -> r1 = r2 && feq c1 c2) u1 u2
+
+let demand_eq (d1 : Fairshare.demand) (d2 : Fairshare.demand) =
+  d1 == d2
+  || (feq d1.Fairshare.weight d2.Fairshare.weight
+     && feq d1.Fairshare.floor d2.Fairshare.floor
+     && feq d1.Fairshare.cap d2.Fairshare.cap
+     && usage_eq d1.Fairshare.usage d2.Fairshare.usage)
+
+let memo_match t (c : component) (m : comp_memo) =
+  let n = Array.length c.c_entries in
+  m.m_gen = t.cache_gen
+  && Array.length m.m_dems = n
+  && int_array_eq m.m_res c.c_res
+  && int_array_eq m.m_sockets c.c_sockets
+  && (let nres = Array.length c.c_res in
+      let rec caps_ok i =
+        i >= nres || (feq m.m_caps.(i) t.caps.(c.c_res.(i)) && caps_ok (i + 1))
+      in
+      caps_ok 0)
+  && (let rec entries_ok i =
+        i >= n
+        || (let e = c.c_entries.(i) in
+            ((m.m_conn.(i) == e.conn && m.m_dems.(i) == e.dem)
+            || (demand_eq m.m_dems.(i) e.dem && int_array_eq m.m_conn.(i) e.conn))
+            && m.m_llc.(i) = e.flow.Flow.llc_target)
+           && entries_ok (i + 1)
+      in
+      entries_ok 0)
+
+let memo_find t (c : component) =
+  if Array.length c.c_res = 0 then None
+  else
+    let key = Array.fold_left min c.c_res.(0) c.c_res in
+    match Hashtbl.find_opt t.comp_cache key with
+    | None -> None
+    | Some ms ->
+      let rec go = function
+        | [] -> None
+        | m :: rest -> if memo_match t c m then Some m else go rest
+      in
+      go ms
+
+let memo_store t (c : component) (r : comp_result) =
+  if Array.length c.c_res > 0 then begin
+    let key = Array.fold_left min c.c_res.(0) c.c_res in
+    let m =
+      {
+        m_dems = Array.map (fun e -> e.dem) c.c_entries;
+        m_conn = Array.map (fun e -> e.conn) c.c_entries;
+        m_llc = Array.map (fun e -> e.flow.Flow.llc_target) c.c_entries;
+        m_res = c.c_res;
+        m_sockets = c.c_sockets;
+        m_caps = Array.map (fun res -> t.caps.(res)) c.c_res;
+        m_gen = t.cache_gen;
+        m_result = r;
+        m_epoch = t.epoch;
+      }
+    in
+    (* at most two memos per bucket — the new one plus the most
+       recently hit survivor. Churn steady state alternates between
+       the with-flow and without-flow values of one component, so two
+       slots make every post-warmup epoch a hit. *)
+    let keep =
+      match Hashtbl.find_opt t.comp_cache key with
+      | None | Some [] -> []
+      | Some [ x ] -> [ x ]
+      | Some (x :: y :: _) -> if x.m_epoch >= y.m_epoch then [ x ] else [ y ]
+    in
+    Hashtbl.replace t.comp_cache key (m :: keep)
+  end
 
 (* Recompute rates for the component(s) reachable from [seeds] only;
    flows outside keep their rates, loads and completion events. Each
-   component is computed independently — on the domain pool when one
-   is attached and the dirty set spans more than one component — and
-   the results are merged in canonical component order, so a parallel
-   run commits byte-identical state to a sequential one. *)
+   component is either replayed from the memo or computed — on the
+   domain pool when one is attached and more than one component
+   missed — and the results are merged in canonical component order,
+   so a parallel or memoized run commits byte-identical state to a
+   sequential cold one. *)
 let rec reallocate t seeds =
   if t.in_batch then ()
   else reallocate_now t seeds
@@ -612,15 +786,36 @@ and reallocate_now t seeds =
   t.epoch <- t.epoch + 1;
   let comps = Array.of_list (collect_components t seeds) in
   let n = Array.length comps in
-  let results =
+  let results = Array.make n None in
+  let miss = ref [] in
+  for i = n - 1 downto 0 do
+    match if t.warm then memo_find t comps.(i) else None with
+    | Some m ->
+      m.m_epoch <- t.epoch;
+      t.warm_hits <- t.warm_hits + 1;
+      results.(i) <- Some m.m_result
+    | None ->
+      if t.warm then t.warm_misses <- t.warm_misses + 1;
+      miss := i :: !miss
+  done;
+  let miss = Array.of_list !miss in
+  let nm = Array.length miss in
+  let computed =
     match t.pool with
-    | Some pool when n > 1 -> U.Pool.map pool n (fun i -> compute_component t comps.(i))
-    | _ -> Array.init n (fun i -> compute_component t comps.(i))
+    | Some pool when nm > 1 -> U.Pool.map pool nm (fun k -> compute_component t comps.(miss.(k)))
+    | _ -> Array.init nm (fun k -> compute_component t comps.(miss.(k)))
   in
+  for k = 0 to nm - 1 do
+    results.(miss.(k)) <- Some computed.(k)
+  done;
   let tnow = Sim.now t.sim in
   for i = 0 to n - 1 do
-    commit_component t tnow comps.(i) results.(i)
+    commit_component t tnow comps.(i) (Option.get results.(i))
   done;
+  if t.warm then
+    for k = 0 to nm - 1 do
+      memo_store t comps.(miss.(k)) computed.(k)
+    done;
   schedule_next_completion t;
   (* guarded so unobserved fabrics pay nothing for the recorder hook *)
   if t.listeners <> [] then emit t (Reallocated t.epoch)
@@ -1043,8 +1238,16 @@ let revive_device t device = on_device_links t device (fun id -> clear_fault t i
 let set_config t config =
   T.Topology.set_config t.topo config;
   t.cache <- Cache.create config.T.Hostconfig.ddio;
+  (* the cache model is an input to every memoized component result:
+     bump the generation (cheap, future-proof against gen reuse) and
+     drop the memos outright *)
+  t.cache_gen <- t.cache_gen + 1;
+  Hashtbl.reset t.comp_cache;
   refresh_all_caps t;
   reallocate t (all_seeds t);
   if t.listeners <> [] then emit t (Config_changed config)
 
 let reallocations t = t.allocs
+let warm_enabled t = t.warm
+let warm_hits t = t.warm_hits
+let warm_misses t = t.warm_misses

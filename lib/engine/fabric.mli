@@ -30,7 +30,7 @@
 
 type t
 
-val create : ?seed:int -> ?domains:int -> Sim.t -> Ihnet_topology.Topology.t -> t
+val create : ?seed:int -> ?domains:int -> ?warm:bool -> Sim.t -> Ihnet_topology.Topology.t -> t
 (** [domains] sets the width of the reallocation pool (default:
     [IHNET_DOMAINS] from the environment, else 1). At 1, reallocation
     is sequential on the calling domain; at [n > 1], the dirty
@@ -39,6 +39,13 @@ val create : ?seed:int -> ?domains:int -> Sim.t -> Ihnet_topology.Topology.t -> 
     canonical component order, so the simulation is bit-identical to a
     sequential run (see "Parallel reallocation" in doc/MODEL.md). RNG
     draws and all state mutation stay on the calling domain.
+
+    [warm] enables warm-started arbitration (default: [IHNET_WARM]
+    from the environment, off only for ["0"|"off"|"false"]): component
+    results are memoized against their exact inputs and the fair-share
+    solver warm-starts across the DDIO spill iterations. Rates, counters,
+    digests and replay are bit-identical warm or cold (MODEL.md §13);
+    only the time spent computing them changes.
     @raise Invalid_argument when [domains < 1]. *)
 
 val domains : t -> int
@@ -255,3 +262,16 @@ val set_config : t -> Ihnet_topology.Hostconfig.t -> unit
 
 val reallocations : t -> int
 (** Number of reallocation passes so far (cost model for §3.2-Q3). *)
+
+(** {1 Warm-start observability} *)
+
+val warm_enabled : t -> bool
+(** Whether this fabric memoizes component results (see {!create}). *)
+
+val warm_hits : t -> int
+(** Components replayed from the memo instead of being recomputed. *)
+
+val warm_misses : t -> int
+(** Components that had to be computed. Both counters stay 0 when
+    warm-starting is disabled. Tests use hits/misses to assert that
+    fault, limit and config changes actually invalidate the memo. *)
