@@ -105,10 +105,11 @@ let bench_allocate n =
 
 (* {1 flow-churn-n: start/stop against a loaded fabric} *)
 
-let bench_churn ?domains ?warm ~nic_of n =
+let bench_churn ?domains ?warm ?(wire = fun _ -> ()) ~nic_of n =
   let topo = T.Builder.dgx_like () in
   let sim = E.Sim.create () in
   let fab = E.Fabric.create ?domains ?warm sim topo in
+  wire fab;
   let dev name =
     match T.Topology.device_by_name topo name with
     | Some d -> d.T.Device.id
@@ -140,6 +141,12 @@ let bench_churn_coupled n = bench_churn ~nic_of:(fun i -> (i + 3) mod 8) n
    so the snapshot always carries one explicitly-warm churn subject to
    hold against [baseline_pre_warmstart]. *)
 let bench_churn_warm n = bench_churn ~warm:true ~nic_of:Fun.id n
+
+(* flow-churn-sketch-4096 is flow-churn-4096 with the always-on
+   latency-sketch plane recording at every reallocation epoch — the
+   "active" half of the sketch perf contract (stay within noise of the
+   dormant run; the gate tolerance absorbs runner jitter). *)
+let bench_churn_sketch n = bench_churn ~wire:E.Fabric.enable_latency_sketches ~nic_of:Fun.id n
 
 (* flow-churn-coupled-par-* runs the coupled (single giant component)
    churn at pool widths 1/2/4. One component cannot shard, so these
@@ -380,6 +387,49 @@ let bench_evidence_idle () =
       t := !t +. 1e6;
       E.Sim.run ~until:!t sim)
 
+(* {1 sketch-idle: the always-on sketch plane must observe without
+   steering}
+
+   Two identical 50 ms managed-host runs — one bare, one with the
+   latency-sketch plane enabled — must leave the reallocation and
+   decision counts exactly equal: recording is pure observation (no
+   RNG, no events, no rate mutation), so an enabled plane cannot
+   perturb the run, and a dormant one costs only a None check
+   (deterministic, not a timing judgement; it holds in --smoke too).
+   The active run must also have actually recorded samples — a plane
+   optimized into a no-op would pass the equality vacuously. The
+   reported rate is simulated-ms/sec with the plane recording. *)
+
+let bench_sketch_idle () =
+  let measure wire =
+    let sim, fab, mgr = make_managed_host ~wire () in
+    E.Sim.run ~until:50e6 sim;
+    ((E.Fabric.reallocations fab, M.Manager.decisions mgr), fab, sim)
+  in
+  let baseline, _, _ = measure (fun _ -> ()) in
+  let sketched, fab, sim = measure E.Fabric.enable_latency_sketches in
+  if sketched <> baseline then
+    failwith
+      (Printf.sprintf
+         "sketch-idle: sketch plane steered the run — %d reallocations/%d decisions bare, \
+          %d/%d with it"
+         (fst baseline) (snd baseline) (fst sketched) (snd sketched));
+  let samples = ref 0 in
+  List.iter
+    (fun (l : T.Link.t) ->
+      List.iter
+        (fun dir ->
+          match E.Fabric.link_latency_sketch fab l.T.Link.id dir with
+          | Some sk -> samples := !samples + U.Sketch.count sk
+          | None -> ())
+        [ T.Link.Fwd; T.Link.Rev ])
+    (T.Topology.links (E.Fabric.topology fab));
+  if !samples = 0 then failwith "sketch-idle: active sketch plane recorded nothing";
+  let t = ref (E.Sim.now sim) in
+  time_ops (fun () ->
+      t := !t +. 1e6;
+      E.Sim.run ~until:!t sim)
+
 let () =
   let subjects =
     [
@@ -406,6 +456,8 @@ let () =
       ("flow-churn-coupled-par-seq-4096", fun () -> bench_churn_coupled_par ~domains:1 4096);
       ("flow-churn-coupled-par-2-4096", fun () -> bench_churn_coupled_par ~domains:2 4096);
       ("flow-churn-coupled-par-4-4096", fun () -> bench_churn_coupled_par ~domains:4 4096);
+      ("sketch-idle", bench_sketch_idle);
+      ("flow-churn-sketch-4096", fun () -> bench_churn_sketch 4096);
     ]
   in
   let subjects =

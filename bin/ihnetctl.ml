@@ -905,9 +905,60 @@ let bench_cmd =
           on a regression beyond the tolerance (the CI bench-regression smoke step).")
     Term.(const run $ current $ baseline $ tolerance $ only)
 
+let latency_cmd =
+  let ms =
+    Arg.(value & opt float 10.0 & info [ "ms" ] ~docv:"MS" ~doc:"Simulated milliseconds to observe.")
+  in
+  let link_flag =
+    Arg.(
+      value & flag
+      & info [ "link" ] ~doc:"Also print the per-(link, direction) percentile table.")
+  in
+  let run host load link ms =
+    let fab = Ihnet.Host.fabric host in
+    E.Fabric.enable_latency_sketches fab;
+    apply_load host load;
+    Ihnet.Host.run_for host (U.Units.ms ms);
+    (match E.Fabric.flow_latency_sketch fab with
+    | Some sk when U.Sketch.count sk > 0 ->
+      Format.printf "flow end-to-end latency: %a@." U.Sketch.pp sk
+    | Some _ | None ->
+      print_endline
+        "flow end-to-end latency: no completed flows observed (try --load or a longer --ms)");
+    if link then begin
+      let topo = Ihnet.Host.topology host in
+      let name id = (T.Topology.device topo id).T.Device.name in
+      Format.printf "%-4s %-24s %-4s %8s %10s %10s %10s %10s@." "link" "route" "dir" "n" "p50"
+        "p99" "p999" "max";
+      List.iter
+        (fun (l : T.Link.t) ->
+          List.iter
+            (fun (dir, label) ->
+              match E.Fabric.link_latency_sketch fab l.T.Link.id dir with
+              | Some sk when U.Sketch.count sk > 0 ->
+                let s = U.Sketch.snapshot sk in
+                Format.printf "%-4d %-24s %-4s %8d %10s %10s %10s %10s@." l.T.Link.id
+                  (Printf.sprintf "%s<->%s" (name l.T.Link.a) (name l.T.Link.b))
+                  label s.U.Sketch.s_count
+                  (Format.asprintf "%a" U.Units.pp_time s.U.Sketch.s_p50)
+                  (Format.asprintf "%a" U.Units.pp_time s.U.Sketch.s_p99)
+                  (Format.asprintf "%a" U.Units.pp_time s.U.Sketch.s_p999)
+                  (Format.asprintf "%a" U.Units.pp_time s.U.Sketch.s_max)
+              | Some _ | None -> ())
+            [ (T.Link.Fwd, "fwd"); (T.Link.Rev, "rev") ])
+        (T.Topology.links topo)
+    end
+  in
+  Cmd.v
+    (Cmd.info "latency"
+       ~doc:
+         "Run with the always-on latency-sketch plane enabled and print percentile summaries \
+          (flow end-to-end roll-up; per-link with $(b,--link)).")
+    Term.(const run $ host_term $ load_flag $ link_flag $ ms)
+
 let main_cmd =
   let doc = "operator tools for the (simulated) manageable intra-host network" in
   Cmd.group (Cmd.info "ihnetctl" ~doc ~version:"1.0.0")
-    [ topo_cmd; ping_cmd; trace_cmd; perf_cmd; dump_cmd; check_cmd; heal_cmd; heartbeat_cmd; monitor_cmd; plan_cmd; report_cmd; scenario_cmd; spec_cmd; record_cmd; replay_cmd; faults_cmd; bench_cmd ]
+    [ topo_cmd; ping_cmd; trace_cmd; perf_cmd; dump_cmd; check_cmd; heal_cmd; heartbeat_cmd; monitor_cmd; latency_cmd; plan_cmd; report_cmd; scenario_cmd; spec_cmd; record_cmd; replay_cmd; faults_cmd; bench_cmd ]
 
 let () = exit (guarded (fun () -> Cmd.eval ~catch:false main_cmd))

@@ -32,6 +32,7 @@ type wiring = {
   headroom : float;
   shim_period : Ihnet_util.Units.ns;
   sampler : M.Sampler.config option;
+  latency_sketches : bool;
 }
 
 let default_wiring =
@@ -41,7 +42,11 @@ let default_wiring =
     headroom = 0.9;
     shim_period = Ihnet_util.Units.us 50.0;
     sampler = None;
+    latency_sketches = false;
   }
+
+let apply_wiring t (wiring : wiring) =
+  if wiring.latency_sketches then E.Fabric.enable_latency_sketches t.fabric
 
 let create ?(seed = 42) ?config ?domains ?warm preset =
   let topo = build_topology ?config preset in
@@ -75,6 +80,7 @@ let run_until_idle t = E.Sim.run t.sim
 let add_tenant t ~name = W.Tenant.register t.tenants ~name ~kind:W.Tenant.Vm
 
 let start_monitoring (t : t) ?(wiring = default_wiring) () =
+  apply_wiring t wiring;
   match t.sampler with
   | Some s -> s
   | None ->
@@ -98,6 +104,7 @@ let start_heartbeats (t : t) ?config () =
 let heartbeat (t : t) = t.heartbeat
 
 let enable_manager t ?(wiring = default_wiring) () =
+  apply_wiring t wiring;
   match t.manager with
   | Some m -> m
   | None ->
@@ -139,6 +146,11 @@ let enable_remediation (t : t) ?config ?(wiring = default_wiring) () =
              (fun (s : M.Heartbeat.suspect) -> (s.M.Heartbeat.link, s.M.Heartbeat.score))
              suspects)
      end);
+    (* tail-latency SLO watch: placements carrying a p99 bound open
+       cases against their worst hop when the observed sketch p99
+       breaches the bound *)
+    if wiring.latency_sketches then
+      R.Remediation.add_source r ~name:"tail-latency" (R.Remediation.tail_latency_source m);
     Option.iter (fun ev -> R.Remediation.set_gate r (M.Evidence.gate ev)) ev;
     R.Remediation.start r;
     t.remediation <- Some r;

@@ -35,6 +35,14 @@ type wiring = {
   sampler : Ihnet_monitor.Sampler.config option;
       (** Sampler configuration for {!start_monitoring};
           [None] (default) means {!Ihnet_monitor.Sampler.default_config}. *)
+  latency_sketches : bool;
+      (** Enable the fabric's always-on latency-percentile plane
+          ({!Ihnet_engine.Fabric.enable_latency_sketches}) when a
+          subsystem starts with this wiring, and — under
+          {!enable_remediation} — wire the tail-latency SLO detector
+          ({!Ihnet_manager.Remediation.tail_latency_source}) in as a
+          case source, so placements with a [p99_bound] are watched and
+          remediated. Default [false]. *)
 }
 (** How the optional subsystems are wired when enabled — one record
     instead of a per-function option soup. Build variations with

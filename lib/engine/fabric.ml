@@ -60,6 +60,15 @@ type comp_memo = {
   mutable m_epoch : int; (* last hit, for LRU within a bucket *)
 }
 
+(* The always-on latency plane: one fixed-geometry sketch per (link,
+   dir) resource plus one for end-to-end flow latencies. Off by default
+   ([sketches = None]); recording is a pure observation of committed
+   state, so enabling it never perturbs rates, events or digests. *)
+type sketch_plane = {
+  sk_links : U.Sketch.t array; (* indexed by resource (res_of) *)
+  sk_flows : U.Sketch.t;
+}
+
 type t = {
   sim : Sim.t;
   topo : T.Topology.t;
@@ -106,6 +115,7 @@ type t = {
   mutable cache_gen : int; (* bumped when the cache config changes *)
   mutable warm_hits : int;
   mutable warm_misses : int;
+  mutable sketches : sketch_plane option; (* latency plane, off by default *)
 }
 
 and event =
@@ -287,6 +297,7 @@ let create ?(seed = 42) ?domains ?warm sim topo =
       cache_gen = 0;
       warm_hits = 0;
       warm_misses = 0;
+      sketches = None;
     }
   in
   refresh_all_caps t;
@@ -769,6 +780,127 @@ let memo_store t (c : component) (r : comp_result) =
     Hashtbl.replace t.comp_cache key (m :: keep)
   end
 
+(* {2 Instantaneous latency views}
+
+   Defined before the reallocation recursion because the always-on
+   sketch plane records them from inside it (per-link at epochs,
+   per-flow at completions). Pure reads of committed state. *)
+
+let link_rate t link_id dir = t.load.(res_of link_id dir)
+
+let link_utilization t link_id dir =
+  let cap = effective_capacity t link_id dir in
+  let rate = link_rate t link_id dir in
+  if cap <= 0.0 then if rate > 0.0 then 1.0 else 0.0 else Float.min 1.0 (rate /. cap)
+
+let crosses_root_complex t (path : T.Path.t) =
+  List.exists
+    (fun id ->
+      match (T.Topology.device t.topo id).T.Device.kind with
+      | T.Device.Root_complex -> true
+      | _ -> false)
+    (T.Path.devices path)
+
+let path_latency t ?(payload_bytes = 0) ?(working_set_pages = 32) (path : T.Path.t) =
+  let hops_latency =
+    List.fold_left
+      (fun acc (hop : T.Path.hop) ->
+        let f = Fault.get t.faults hop.link.T.Link.id in
+        let u = link_utilization t hop.link.T.Link.id hop.dir in
+        acc
+        +. Latency.hop_latency ~base:hop.link.T.Link.base_latency ~utilization:u
+             ~extra:f.Fault.extra_latency ())
+      0.0 path.T.Path.hops
+  in
+  let iommu_latency =
+    if crosses_root_complex t path then
+      Iommu.expected_translation_latency (T.Topology.config t.topo).T.Hostconfig.iommu
+        ~working_set_pages
+    else 0.0
+  in
+  let serialization =
+    if payload_bytes <= 0 then 0.0
+    else begin
+      (* a small message is serialized at roughly the rate a new flow
+         would get: the larger of residual capacity and a fair share *)
+      let rate =
+        List.fold_left
+          (fun acc (hop : T.Path.hop) ->
+            let res = res_of hop.link.T.Link.id hop.dir in
+            let cap = effective_capacity t hop.link.T.Link.id hop.dir in
+            let residual = Float.max 0.0 (cap -. t.load.(res)) in
+            let fair = cap /. float_of_int (t.flows_on.(res) + 1) in
+            Float.min acc (Float.max residual fair))
+          infinity path.T.Path.hops
+      in
+      if rate = infinity || rate <= 0.0 then 0.0
+      else Latency.serialization ~bytes:(float_of_int payload_bytes) ~rate
+    end
+  in
+  hops_latency +. iommu_latency +. serialization
+
+(* WFQ delay isolation: a flow holding a guaranteed floor is served at
+   least at that rate on every hop regardless of the aggregate queue, so
+   its queueing delay follows its OWN utilization of the guarantee, not
+   the aggregate's. Unmanaged flows (floor 0) see the aggregate. *)
+let flow_path_latency t ?(payload_bytes = 0) (flow : Flow.t) =
+  let path = flow.Flow.path in
+  let base = path_latency t ~payload_bytes path in
+  if flow.Flow.floor <= 0.0 then base
+  else begin
+    let own_u = Float.min 0.999 (flow.Flow.rate /. flow.Flow.floor) in
+    let hops_latency =
+      List.fold_left
+        (fun acc (hop : T.Path.hop) ->
+          let f = Fault.get t.faults hop.link.T.Link.id in
+          let agg_u = link_utilization t hop.link.T.Link.id hop.T.Path.dir in
+          let u = Float.min own_u agg_u in
+          acc
+          +. Latency.hop_latency ~base:hop.link.T.Link.base_latency ~utilization:u
+               ~extra:f.Fault.extra_latency ())
+        0.0 path.T.Path.hops
+    in
+    let iommu_latency =
+      if crosses_root_complex t path then
+        Iommu.expected_translation_latency (T.Topology.config t.topo).T.Hostconfig.iommu
+          ~working_set_pages:32
+      else 0.0
+    in
+    let serialization =
+      (* once its WFQ slot arrives the message moves at wire speed; the
+         waiting is already captured by the queueing term above *)
+      if payload_bytes <= 0 then 0.0
+      else
+        let bottleneck =
+          List.fold_left
+            (fun acc (hop : T.Path.hop) ->
+              Float.min acc (effective_capacity t hop.link.T.Link.id hop.T.Path.dir))
+            infinity path.T.Path.hops
+        in
+        if bottleneck <= 0.0 || bottleneck = infinity then 0.0
+        else Latency.serialization ~bytes:(float_of_int payload_bytes) ~rate:bottleneck
+    in
+    Float.min base (hops_latency +. iommu_latency +. serialization)
+  end
+
+(* Record the sketch plane's per-link observations for one committed
+   component: the loaded hop latency of every (link, dir) resource the
+   reallocation just touched. Pure reads; no events, no RNG, no rate
+   movement — the digests a recorder takes are untouched whether the
+   plane is dormant or active. *)
+let record_link_latencies t sk (c : component) =
+  Array.iter
+    (fun r ->
+      let link_id = r / 2 in
+      let dir = if r land 1 = 0 then T.Link.Fwd else T.Link.Rev in
+      let l = T.Topology.link t.topo link_id in
+      let f = Fault.get t.faults link_id in
+      U.Sketch.record sk.sk_links.(r)
+        (Latency.hop_latency ~base:l.T.Link.base_latency
+           ~utilization:(link_utilization t link_id dir)
+           ~extra:f.Fault.extra_latency ()))
+    c.c_res
+
 (* Recompute rates for the component(s) reachable from [seeds] only;
    flows outside keep their rates, loads and completion events. Each
    component is either replayed from the memo or computed — on the
@@ -816,6 +948,12 @@ and reallocate_now t seeds =
     for k = 0 to nm - 1 do
       memo_store t comps.(miss.(k)) computed.(k)
     done;
+  (match t.sketches with
+  | None -> ()
+  | Some sk ->
+    (* per-link latency observations for the resources this epoch just
+       recommitted — the always-on percentile feed *)
+    Array.iter (fun c -> record_link_latencies t sk c) comps);
   schedule_next_completion t;
   (* guarded so unobserved fabrics pay nothing for the recorder hook *)
   if t.listeners <> [] then emit t (Reallocated t.epoch)
@@ -878,6 +1016,13 @@ and handle_completions t =
   | [] -> schedule_next_completion t
   | completed ->
     reallocate t (Array.concat (List.map (fun e -> e.conn) completed));
+    (match t.sketches with
+    | None -> ()
+    | Some sk ->
+      (* end-to-end latency as the flow saw the fabric at completion *)
+      List.iter
+        (fun e -> U.Sketch.record sk.sk_flows (flow_path_latency t e.flow))
+        completed);
     (* callbacks run after reallocation so they observe a consistent fabric *)
     List.iter
       (fun e ->
@@ -1034,13 +1179,6 @@ let transfer_time t ~path ~bytes =
   let rate = rates.(nc) in
   if rate <= 0.0 then None else Some (bytes /. rate *. 1e9)
 
-let link_rate t link_id dir = t.load.(res_of link_id dir)
-
-let link_utilization t link_id dir =
-  let cap = effective_capacity t link_id dir in
-  let rate = link_rate t link_id dir in
-  if cap <= 0.0 then if rate > 0.0 then 1.0 else 0.0 else Float.min 1.0 (rate /. cap)
-
 let link_bytes t link_id dir =
   observed_sync t;
   t.link_bytes.(res_of link_id dir)
@@ -1060,96 +1198,6 @@ let tenant_bytes t ~tenant =
   match Hashtbl.find_opt t.tenant_rows tenant with
   | Some row -> Array.fold_left ( +. ) 0.0 row
   | None -> 0.0
-
-let crosses_root_complex t (path : T.Path.t) =
-  List.exists
-    (fun id ->
-      match (T.Topology.device t.topo id).T.Device.kind with
-      | T.Device.Root_complex -> true
-      | _ -> false)
-    (T.Path.devices path)
-
-let path_latency t ?(payload_bytes = 0) ?(working_set_pages = 32) (path : T.Path.t) =
-  let hops_latency =
-    List.fold_left
-      (fun acc (hop : T.Path.hop) ->
-        let f = Fault.get t.faults hop.link.T.Link.id in
-        let u = link_utilization t hop.link.T.Link.id hop.dir in
-        acc
-        +. Latency.hop_latency ~base:hop.link.T.Link.base_latency ~utilization:u
-             ~extra:f.Fault.extra_latency ())
-      0.0 path.T.Path.hops
-  in
-  let iommu_latency =
-    if crosses_root_complex t path then
-      Iommu.expected_translation_latency (T.Topology.config t.topo).T.Hostconfig.iommu
-        ~working_set_pages
-    else 0.0
-  in
-  let serialization =
-    if payload_bytes <= 0 then 0.0
-    else begin
-      (* a small message is serialized at roughly the rate a new flow
-         would get: the larger of residual capacity and a fair share *)
-      let rate =
-        List.fold_left
-          (fun acc (hop : T.Path.hop) ->
-            let res = res_of hop.link.T.Link.id hop.dir in
-            let cap = effective_capacity t hop.link.T.Link.id hop.dir in
-            let residual = Float.max 0.0 (cap -. t.load.(res)) in
-            let fair = cap /. float_of_int (t.flows_on.(res) + 1) in
-            Float.min acc (Float.max residual fair))
-          infinity path.T.Path.hops
-      in
-      if rate = infinity || rate <= 0.0 then 0.0
-      else Latency.serialization ~bytes:(float_of_int payload_bytes) ~rate
-    end
-  in
-  hops_latency +. iommu_latency +. serialization
-
-(* WFQ delay isolation: a flow holding a guaranteed floor is served at
-   least at that rate on every hop regardless of the aggregate queue, so
-   its queueing delay follows its OWN utilization of the guarantee, not
-   the aggregate's. Unmanaged flows (floor 0) see the aggregate. *)
-let flow_path_latency t ?(payload_bytes = 0) (flow : Flow.t) =
-  let path = flow.Flow.path in
-  let base = path_latency t ~payload_bytes path in
-  if flow.Flow.floor <= 0.0 then base
-  else begin
-    let own_u = Float.min 0.999 (flow.Flow.rate /. flow.Flow.floor) in
-    let hops_latency =
-      List.fold_left
-        (fun acc (hop : T.Path.hop) ->
-          let f = Fault.get t.faults hop.link.T.Link.id in
-          let agg_u = link_utilization t hop.link.T.Link.id hop.T.Path.dir in
-          let u = Float.min own_u agg_u in
-          acc
-          +. Latency.hop_latency ~base:hop.link.T.Link.base_latency ~utilization:u
-               ~extra:f.Fault.extra_latency ())
-        0.0 path.T.Path.hops
-    in
-    let iommu_latency =
-      if crosses_root_complex t path then
-        Iommu.expected_translation_latency (T.Topology.config t.topo).T.Hostconfig.iommu
-          ~working_set_pages:32
-      else 0.0
-    in
-    let serialization =
-      (* once its WFQ slot arrives the message moves at wire speed; the
-         waiting is already captured by the queueing term above *)
-      if payload_bytes <= 0 then 0.0
-      else
-        let bottleneck =
-          List.fold_left
-            (fun acc (hop : T.Path.hop) ->
-              Float.min acc (effective_capacity t hop.link.T.Link.id hop.T.Path.dir))
-            infinity path.T.Path.hops
-        in
-        if bottleneck <= 0.0 || bottleneck = infinity then 0.0
-        else Latency.serialization ~bytes:(float_of_int payload_bytes) ~rate:bottleneck
-    in
-    Float.min base (hops_latency +. iommu_latency +. serialization)
-  end
 
 let probe_loss_prob t (path : T.Path.t) =
   let survive =
@@ -1246,6 +1294,24 @@ let set_config t config =
   refresh_all_caps t;
   reallocate t (all_seeds t);
   if t.listeners <> [] then emit t (Config_changed config)
+
+let enable_latency_sketches t =
+  match t.sketches with
+  | Some _ -> ()
+  | None ->
+    t.sketches <-
+      Some
+        {
+          sk_links = Array.init t.nr (fun _ -> U.Sketch.create ());
+          sk_flows = U.Sketch.create ();
+        }
+
+let latency_sketches_enabled t = t.sketches <> None
+
+let link_latency_sketch t link_id dir =
+  Option.map (fun sk -> sk.sk_links.(res_of link_id dir)) t.sketches
+
+let flow_latency_sketch t = Option.map (fun sk -> sk.sk_flows) t.sketches
 
 let reallocations t = t.allocs
 let warm_enabled t = t.warm

@@ -205,6 +205,33 @@ val flow_path_latency : t -> ?payload_bytes:int -> Flow.t -> Ihnet_util.Units.ns
 val probe_loss_prob : t -> Ihnet_topology.Path.t -> float
 (** Probability that a probe on [path] is lost to injected faults. *)
 
+(** {1 Always-on latency sketches}
+
+    The continuous percentile plane of §3.1: per-(link, direction)
+    {!Ihnet_util.Sketch}es fed with the loaded hop latency of every
+    resource a reallocation epoch recommits, plus one end-to-end sketch
+    fed with {!flow_path_latency} at each flow completion. Dormant by
+    default and free when dormant; when enabled, recording is a pure
+    observation of committed state — rates, events, RNG draws and
+    recorder digests are byte-identical either way (the [sketch-idle]
+    bench subject asserts this). *)
+
+val enable_latency_sketches : t -> unit
+(** Turn the latency plane on (normally via
+    [Host.wiring.latency_sketches]). Idempotent; there is no off switch
+    — the plane is append-only observation state. *)
+
+val latency_sketches_enabled : t -> bool
+
+val link_latency_sketch :
+  t -> Ihnet_topology.Link.id -> Ihnet_topology.Link.dir -> Ihnet_util.Sketch.t option
+(** The live per-resource sketch ([None] when the plane is dormant).
+    Callers must treat it as read-only; use {!Ihnet_util.Sketch.copy}
+    before merging elsewhere. *)
+
+val flow_latency_sketch : t -> Ihnet_util.Sketch.t option
+(** End-to-end latency of completed flows ([None] when dormant). *)
+
 (** {1 DDIO observability} *)
 
 val ddio_write_rate : t -> socket:int -> float

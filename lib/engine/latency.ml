@@ -6,9 +6,10 @@ let hop_latency ~base ~utilization ?(extra = 0.0) () =
   let inflation = Float.min max_inflation (1.0 +. (beta *. u /. (1.0 -. u))) in
   (base +. extra) *. inflation
 
+let stalled = 1e12
+
 let serialization ~bytes ~rate =
   if rate = infinity then 0.0
-  else begin
-    assert (rate > 0.0);
-    bytes /. rate *. 1e9
-  end
+  else if rate > 0.0 then Float.min stalled (bytes /. rate *. 1e9)
+  else stalled
+

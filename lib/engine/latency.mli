@@ -25,5 +25,14 @@ val hop_latency :
     delay, applied before inflation (a degraded component is slow even
     when idle). *)
 
+val stalled : Ihnet_util.Units.ns
+(** Serialization-time ceiling (10^12 ns = 1000 s): what a fully
+    stalled transfer reports instead of [infinity], so fault-degraded
+    (zero-rate) links can never inject non-finite durations into
+    workload histograms. *)
+
 val serialization : bytes:float -> rate:float -> Ihnet_util.Units.ns
-(** Time to push [bytes] at [rate] bytes/s ([infinity] rate gives 0). *)
+(** Time to push [bytes] at [rate] bytes/s. [infinity] rate gives 0; a
+    zero, negative or NaN rate — a link degraded to nothing — gives
+    {!stalled} rather than [infinity], and finite results are capped at
+    {!stalled}. *)

@@ -6,17 +6,25 @@ type t = {
   tenant : int;
   targets : target list;
   latency_bound : Ihnet_util.Units.ns option;
+  p99_bound : Ihnet_util.Units.ns option;
   work_conserving : bool;
 }
 
 let pipe ~tenant ~src ~dst ~rate =
-  { tenant; targets = [ Pipe { src; dst; rate } ]; latency_bound = None; work_conserving = true }
+  {
+    tenant;
+    targets = [ Pipe { src; dst; rate } ];
+    latency_bound = None;
+    p99_bound = None;
+    work_conserving = true;
+  }
 
 let hose ~tenant ~endpoint ~to_host ~from_host =
   {
     tenant;
     targets = [ Hose { endpoint; to_host; from_host } ];
     latency_bound = None;
+    p99_bound = None;
     work_conserving = true;
   }
 
@@ -36,7 +44,10 @@ let validate t =
     | None -> (
       match t.latency_bound with
       | Some b when b <= 0.0 -> Error "non-positive latency bound"
-      | Some _ | None -> Ok ())
+      | Some _ | None -> (
+        match t.p99_bound with
+        | Some b when b <= 0.0 -> Error "non-positive p99 bound"
+        | Some _ | None -> Ok ()))
   end
 
 let total_guaranteed t =

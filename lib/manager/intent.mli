@@ -27,6 +27,13 @@ type t = {
   latency_bound : Ihnet_util.Units.ns option;
       (** Advisory SLO; the monitor checks it, the scheduler prefers
           shorter paths when set. *)
+  p99_bound : Ihnet_util.Units.ns option;
+      (** Tail-latency SLO: the tenant's observed p99 path latency —
+          measured by the fabric's always-on latency sketches — must
+          stay under this bound. {!Slo} judges it and, when the host
+          wires [latency_sketches], {!Remediation.tail_latency_source}
+          opens cases on breaches. Build with functional update:
+          [{ (pipe ...) with p99_bound = Some (us 8.0) }]. *)
   work_conserving : bool;
       (** When true the tenant may exceed its guarantee using idle
           capacity; when false the guarantee is also a hard ceiling. *)

@@ -9,6 +9,7 @@ type requirement = {
   candidates : T.Path.t list;
   work_conserving : bool;
   latency_bound : Ihnet_util.Units.ns option;
+  p99_bound : Ihnet_util.Units.ns option;
 }
 
 let ( let* ) = Result.bind
@@ -29,6 +30,15 @@ let filter_latency latency_bound candidates =
   | None -> candidates
   | Some bound -> List.filter (fun p -> T.Path.base_latency p <= bound) candidates
 
+(* A p99 bound is a latency bound on the tail, so zero-load feasibility
+   is the same filter: a path whose base latency already exceeds the
+   bound can never meet it. The effective candidate filter is the
+   tighter of the two bounds. *)
+let effective_bound (intent : Intent.t) =
+  match (intent.Intent.latency_bound, intent.Intent.p99_bound) with
+  | None, b | b, None -> b
+  | Some a, Some b -> Some (Float.min a b)
+
 let compile topo ?(k_paths = 4) (intent : Intent.t) =
   let* () =
     Result.map_error (fun why -> Mgr_error.Invalid_intent why) (Intent.validate intent)
@@ -40,7 +50,7 @@ let compile topo ?(k_paths = 4) (intent : Intent.t) =
       let candidates =
         T.Routing.k_shortest_paths ~k:k_paths topo s.T.Device.id d.T.Device.id
         |> List.filter (fun (p : T.Path.t) -> p.T.Path.hops <> [])
-        |> filter_latency intent.Intent.latency_bound
+        |> filter_latency (effective_bound intent)
       in
       if candidates = [] then Error (Mgr_error.No_path { src; dst })
       else
@@ -55,6 +65,7 @@ let compile topo ?(k_paths = 4) (intent : Intent.t) =
               candidates;
               work_conserving = intent.Intent.work_conserving;
               latency_bound = intent.Intent.latency_bound;
+              p99_bound = intent.Intent.p99_bound;
             };
           ]
     | Intent.Hose { endpoint; to_host; from_host } ->
@@ -80,6 +91,7 @@ let compile topo ?(k_paths = 4) (intent : Intent.t) =
           candidates = [ path ];
           work_conserving = intent.Intent.work_conserving;
           latency_bound = intent.Intent.latency_bound;
+          p99_bound = intent.Intent.p99_bound;
         }
       in
       let reqs =

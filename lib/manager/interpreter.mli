@@ -21,6 +21,7 @@ type requirement = {
           endpoint's uplink to its home socket). *)
   work_conserving : bool;
   latency_bound : Ihnet_util.Units.ns option;
+  p99_bound : Ihnet_util.Units.ns option;
 }
 
 val compile :
@@ -28,6 +29,7 @@ val compile :
 (** [k_paths] (default 4) bounds the candidate set per pipe. Fails on
     unknown device names ({!Mgr_error.Unknown_device}), unreachable
     pairs ({!Mgr_error.No_path}/[No_uplink]/[No_downlink]), or invalid
-    intents ({!Mgr_error.Invalid_intent}). A [latency_bound] drops
-    candidate paths whose base latency exceeds it (and fails if none
-    survives). *)
+    intents ({!Mgr_error.Invalid_intent}). A [latency_bound] or
+    [p99_bound] drops candidate paths whose base latency exceeds the
+    tighter of the two — a path slower than the bound at zero load can
+    never meet it at the tail — and fails if none survives. *)

@@ -115,6 +115,7 @@ let replace_placement t ~avoid (p : Placement.t) =
            ~rate:p.Placement.rate)
         with
         Intent.latency_bound = p.Placement.latency_bound;
+        p99_bound = p.Placement.p99_bound;
         work_conserving = p.Placement.work_conserving;
       }
     in

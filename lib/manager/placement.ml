@@ -11,6 +11,7 @@ type t = {
   mutable path : T.Path.t;
   work_conserving : bool;
   latency_bound : Ihnet_util.Units.ns option;
+  p99_bound : Ihnet_util.Units.ns option;
   mutable attached : Flow.t list;
   mutable floor_scale : float;
 }

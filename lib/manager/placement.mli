@@ -24,6 +24,10 @@ type t = {
   latency_bound : Ihnet_util.Units.ns option;
       (** The intent's advisory latency SLO, carried through for
           compliance reporting ({!Slo}). *)
+  p99_bound : Ihnet_util.Units.ns option;
+      (** The intent's tail-latency SLO (observed p99 ≤ bound), carried
+          through for {!Slo} reporting and the remediation supervisor's
+          tail-latency detector. *)
   mutable attached : Ihnet_engine.Flow.t list;
       (** Live flows currently charged against this guarantee
           (arbiter-owned). *)

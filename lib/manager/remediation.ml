@@ -185,9 +185,14 @@ let record ?(impact = false) t c detail =
   List.iter (fun f -> f a) t.observers
 
 (* Victims: placements still routed over the suspect link whose running
-   flows jointly receive less than the (possibly scaled-down) promise.
-   A placement replaced onto another path, or with no live flows, is no
-   longer this case's problem. *)
+   flows jointly receive less than the (possibly scaled-down) promise —
+   or, for placements carrying a tail-latency bound, whose current path
+   latency exceeds it. Latency victimhood is judged on the
+   instantaneous estimate, not the cumulative sketch: the sketch
+   remembers the breach forever (that is its job as a detector), while
+   a case must resolve as soon as the migrated flows are actually fast
+   again. A placement replaced onto another path, or with no live
+   flows, is no longer this case's problem. *)
 let victims t link =
   Fabric.refresh t.fabric;
   List.filter
@@ -202,8 +207,48 @@ let victims t link =
         List.fold_left (fun a (f : Flow.t) -> a +. Flow.effective_demand f) 0.0 flows
       in
       let entitled = Float.min (p.Placement.rate *. p.Placement.floor_scale) demanded in
-      delivered < entitled *. tolerance)
+      let starved = delivered < entitled *. tolerance in
+      let too_slow =
+        match p.Placement.p99_bound with
+        | None -> false
+        | Some bound ->
+          List.exists (fun (f : Flow.t) -> Fabric.flow_path_latency t.fabric f > bound) flows
+      in
+      starved || too_slow)
     (Manager.affected_placements t.mgr link)
+
+(* The tail-latency detector (a {!add_source} source, wired by the host
+   when the sketch plane is on): for every placement carrying a p99
+   bound, sum the observed per-hop sketch p99 along its path; on a
+   breach, suspect the hop contributing most, with confidence scaled by
+   how far past the bound the tail sits. *)
+let tail_latency_source mgr () =
+  let fabric = Manager.fabric mgr in
+  if not (Fabric.latency_sketches_enabled fabric) then []
+  else
+    List.fold_left
+      (fun acc (p : Placement.t) ->
+        match p.Placement.p99_bound with
+        | None -> acc
+        | Some bound ->
+          let total = ref 0.0 and worst = ref (-1) and worst_p99 = ref 0.0 in
+          List.iter
+            (fun (h : T.Path.hop) ->
+              match Fabric.link_latency_sketch fabric h.T.Path.link.T.Link.id h.T.Path.dir with
+              | Some sk when U.Sketch.count sk > 0 ->
+                let p99 = U.Sketch.percentile sk 0.99 in
+                total := !total +. p99;
+                if p99 > !worst_p99 then begin
+                  worst_p99 := p99;
+                  worst := h.T.Path.link.T.Link.id
+                end
+              | Some _ | None -> ())
+            p.Placement.path.T.Path.hops;
+          if !worst >= 0 && !total > bound then
+            (!worst, Float.min 1.0 ((!total -. bound) /. bound)) :: acc
+          else acc)
+      []
+      (Manager.placements mgr)
 
 let backoff t (c : case) =
   t.config.base_backoff *. (t.config.backoff_factor ** float_of_int c.attempts)

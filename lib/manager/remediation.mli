@@ -109,6 +109,18 @@ val add_source : t -> name:string -> (unit -> (Ihnet_topology.Link.id * float) l
     confidence scores in [\[0,1\]]. The host wires heartbeat
     localization (and any other monitor verdict) through this. *)
 
+val tail_latency_source :
+  Manager.t -> unit -> (Ihnet_topology.Link.id * float) list
+(** A ready-made {!add_source} detector for tail-latency SLO intents:
+    for every placement carrying an {!Intent.t.p99_bound}, sum the
+    observed per-hop p99 of the fabric's always-on latency sketches
+    along its path; when the sum breaches the bound, suspect the hop
+    contributing the largest p99, with score
+    [min 1 ((observed - bound) / bound)]. Returns [[]] while the
+    sketch plane is dormant, so it is free to wire unconditionally.
+    The host facade installs it when
+    {!Ihnet.Host.wiring.latency_sketches} is on. *)
+
 val set_gate :
   t -> (Ihnet_topology.Link.id -> [ `Unknown | `Suspected of float | `Corroborated of float ]) -> unit
 (** Install the evidence gate. [Rearbitrate] (cheap, reversible)

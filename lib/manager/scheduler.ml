@@ -66,6 +66,7 @@ let place t (req : Interpreter.requirement) =
         path;
         work_conserving = req.Interpreter.work_conserving;
         latency_bound = req.Interpreter.latency_bound;
+        p99_bound = req.Interpreter.p99_bound;
         attached = [];
         floor_scale = 1.0;
       }

@@ -1,5 +1,6 @@
 module Fabric = Ihnet_engine.Fabric
 module Flow = Ihnet_engine.Flow
+module T = Ihnet_topology
 module U = Ihnet_util
 
 type state = Inactive | Met | Degraded of float | Violated of string
@@ -9,6 +10,7 @@ type entry = {
   delivered : float;
   demanded : float;
   worst_latency : U.Units.ns option;
+  observed_p99 : U.Units.ns option;
   state : state;
 }
 
@@ -17,10 +19,36 @@ type report = { at : U.Units.ns; entries : entry list; violations : int; degrade
 (* 1% slack absorbs fluid-model rounding *)
 let tolerance = 0.99
 
+(* Observed p99 along a placement's path: per-hop p99 from the fabric's
+   always-on link sketches, summed hop by hop (the same decomposition
+   path_latency uses). [None] while the sketch plane is dormant or
+   before any hop has a sample. *)
+let observed_path_p99 fabric (p : Placement.t) =
+  if not (Fabric.latency_sketches_enabled fabric) then None
+  else begin
+    let total = ref 0.0 and seen = ref false in
+    List.iter
+      (fun (h : T.Path.hop) ->
+        match Fabric.link_latency_sketch fabric h.T.Path.link.T.Link.id h.T.Path.dir with
+        | Some sk when U.Sketch.count sk > 0 ->
+          seen := true;
+          total := !total +. U.Sketch.percentile sk 0.99
+        | Some _ | None -> ())
+      p.Placement.path.T.Path.hops;
+    if !seen then Some !total else None
+  end
+
 let check_placement fabric (p : Placement.t) =
   let flows = List.filter (fun (f : Flow.t) -> f.Flow.state = Flow.Running) p.Placement.attached in
   if flows = [] then
-    { placement = p; delivered = 0.0; demanded = 0.0; worst_latency = None; state = Inactive }
+    {
+      placement = p;
+      delivered = 0.0;
+      demanded = 0.0;
+      worst_latency = None;
+      observed_p99 = None;
+      state = Inactive;
+    }
   else begin
     let delivered = List.fold_left (fun acc (f : Flow.t) -> acc +. f.Flow.rate) 0.0 flows in
     let demanded =
@@ -32,19 +60,31 @@ let check_placement fabric (p : Placement.t) =
     let scale = p.Placement.floor_scale in
     let entitled = Float.min (p.Placement.rate *. scale) demanded in
     let bandwidth_ok = delivered >= entitled *. tolerance in
+    let inst_worst () =
+      List.fold_left (fun acc f -> Float.max acc (Fabric.flow_path_latency fabric f)) 0.0 flows
+    in
     let worst_latency =
-      match p.Placement.latency_bound with
-      | None -> None
-      | Some _ ->
-        Some
-          (List.fold_left
-             (fun acc f -> Float.max acc (Fabric.flow_path_latency fabric f))
-             0.0 flows)
+      match (p.Placement.latency_bound, p.Placement.p99_bound) with
+      | None, None -> None
+      | _ -> Some (inst_worst ())
     in
     let latency_ok =
       match (p.Placement.latency_bound, worst_latency) with
       | Some bound, Some worst -> worst <= bound
       | _ -> true
+    in
+    let observed_p99 =
+      match p.Placement.p99_bound with None -> None | Some _ -> observed_path_p99 fabric p
+    in
+    (* with the sketch plane dormant the tail bound is still judged, on
+       the instantaneous estimate — a weaker check, but never silent *)
+    let p99_ok =
+      match p.Placement.p99_bound with
+      | None -> true
+      | Some bound -> (
+        match observed_p99 with
+        | Some obs -> obs <= bound
+        | None -> Option.value ~default:0.0 worst_latency <= bound)
     in
     let state =
       if not bandwidth_ok then
@@ -57,10 +97,18 @@ let check_placement fabric (p : Placement.t) =
              (Option.value ~default:nan worst_latency)
              U.Units.pp_time
              (Option.value ~default:nan p.Placement.latency_bound))
+      else if not p99_ok then
+        Violated
+          (Format.asprintf "observed p99 %a exceeds bound %a" U.Units.pp_time
+             (match observed_p99 with
+             | Some obs -> obs
+             | None -> Option.value ~default:nan worst_latency)
+             U.Units.pp_time
+             (Option.value ~default:nan p.Placement.p99_bound))
       else if scale < 1.0 then Degraded scale
       else Met
     in
-    { placement = p; delivered; demanded; worst_latency; state }
+    { placement = p; delivered; demanded; worst_latency; observed_p99; state }
   end
 
 let check mgr =

@@ -9,7 +9,12 @@
       offering less than its guarantee is compliant by definition;
     - {b latency}: when the intent carried a bound, each attached
       flow's current {!Ihnet_engine.Fabric.flow_path_latency} is within
-      it.
+      it;
+    - {b tail latency}: when the intent carried a [p99_bound], the
+      observed p99 along the placement's path — per-hop p99 from the
+      fabric's always-on latency sketches, summed — is within it. With
+      the sketch plane dormant the bound is judged against the
+      instantaneous estimate instead (weaker, never silent).
 
     A placement with no attached flows is [Inactive] (vacuously
     compliant); the interesting states are [Met] and [Violated]. *)
@@ -31,6 +36,9 @@ type entry = {
   worst_latency : Ihnet_util.Units.ns option;
       (** Worst current latency among attached flows, when a bound is
           set. *)
+  observed_p99 : Ihnet_util.Units.ns option;
+      (** Sketch-observed p99 along the placement's path, when the
+          placement carries a [p99_bound] and the plane has samples. *)
   state : state;
 }
 
@@ -40,6 +48,11 @@ type report = {
   violations : int;
   degraded : int;  (** Entries under an explicit {!Degraded} verdict. *)
 }
+
+val observed_path_p99 : Ihnet_engine.Fabric.t -> Placement.t -> Ihnet_util.Units.ns option
+(** Observed p99 along a placement's path: the per-hop p99s of the
+    fabric's always-on link sketches, summed hop by hop. [None] while
+    the sketch plane is dormant or before any hop has a sample. *)
 
 val check : Manager.t -> report
 (** Evaluate every live placement now. *)

@@ -1,4 +1,5 @@
 module Fabric = Ihnet_engine.Fabric
+module U = Ihnet_util
 
 type member = { label : string; counter : Counter.t; tenants : int list }
 
@@ -8,9 +9,15 @@ type host_status = {
   congested_links : int;
   worst_utilization : float;
   config_findings : string list;
+  tail : U.Sketch.snapshot option;
 }
 
-type t = { at_wall : int; hosts : host_status list }
+type t = { at_wall : int; hosts : host_status list; fleet_tail : U.Sketch.snapshot option }
+
+let host_tail m =
+  match Fabric.flow_latency_sketch (Counter.fabric m.counter) with
+  | Some sk when U.Sketch.count sk > 0 -> Some sk
+  | Some _ | None -> None
 
 let status_of m =
   let health = Health.collect m.counter ~tenants:m.tenants () in
@@ -26,7 +33,25 @@ let status_of m =
     worst_utilization;
     config_findings =
       Anomaly.check_configuration (Fabric.topology (Counter.fabric m.counter));
+    tail = Option.map U.Sketch.snapshot (host_tail m);
   }
+
+(* Fleet-wide tail latency: every member's end-to-end flow sketch
+   merged into one. Members are visited in label order — merge is
+   bit-deterministic under any grouping (see {!Ihnet_util.Sketch}), but
+   the pinned order also makes partial-failure replays trivially
+   reproducible. *)
+let fleet_tail members =
+  let sketches =
+    List.sort (fun (a : member) (b : member) -> compare a.label b.label) members
+    |> List.filter_map host_tail
+  in
+  match sketches with
+  | [] -> None
+  | first :: rest ->
+    let acc = U.Sketch.copy first in
+    List.iter (fun sk -> U.Sketch.merge acc sk) rest;
+    Some (U.Sketch.snapshot acc)
 
 let severity s =
   (* congestion dominates; misconfigurations break ties *)
@@ -44,7 +69,7 @@ let collect ?(round = 0) members =
            | 0 -> compare a.label b.label
            | c -> c)
   in
-  { at_wall = round; hosts }
+  { at_wall = round; hosts; fleet_tail = fleet_tail members }
 
 let needs_attention t =
   List.filter (fun s -> s.congested_links > 0 || s.config_findings <> []) t.hosts
@@ -53,10 +78,19 @@ let pp ppf t =
   Format.fprintf ppf "fleet round %d: %d host(s), %d need attention@." t.at_wall
     (List.length t.hosts)
     (List.length (needs_attention t));
+  (match t.fleet_tail with
+  | Some s ->
+    Format.fprintf ppf "  fleet flow latency: n=%d p50=%.0fns p99=%.0fns p999=%.0fns@."
+      s.U.Sketch.s_count s.U.Sketch.s_p50 s.U.Sketch.s_p99 s.U.Sketch.s_p999
+  | None -> ());
   List.iter
     (fun s ->
-      Format.fprintf ppf "  %-16s congested=%d worst=%.0f%% findings=%d@." s.label
+      Format.fprintf ppf "  %-16s congested=%d worst=%.0f%% findings=%d%t@." s.label
         s.congested_links
         (s.worst_utilization *. 100.0)
-        (List.length s.config_findings))
+        (List.length s.config_findings)
+        (fun ppf ->
+          match s.tail with
+          | Some tl -> Format.fprintf ppf " flow.p99=%.0fns" tl.U.Sketch.s_p99
+          | None -> ()))
     t.hosts

@@ -23,17 +23,25 @@ type host_status = {
   congested_links : int;
   worst_utilization : float;  (** 0 when nothing is congested. *)
   config_findings : string list;  (** Static misconfigurations. *)
+  tail : Ihnet_util.Sketch.snapshot option;
+      (** End-to-end flow-latency percentiles from the host's always-on
+          sketch plane; [None] while the plane is dormant or empty. *)
 }
 
 type t = {
   at_wall : int;  (** Collection round number. *)
   hosts : host_status list;  (** Worst first. *)
+  fleet_tail : Ihnet_util.Sketch.snapshot option;
+      (** Every member's flow sketch merged into fleet-wide latency
+          percentiles; [None] when no member has samples. *)
 }
 
 val collect : ?round:int -> member list -> t
 (** Snapshot every member (each call advances that host's simulation by
     the health-report window) and rank by congestion severity, then by
-    misconfiguration count. *)
+    misconfiguration count. Members' flow-latency sketches are merged
+    into [fleet_tail] in label order; the sketch's determinism contract
+    makes the merged percentiles bit-identical under any grouping. *)
 
 val needs_attention : t -> host_status list
 (** Hosts with congested links or config findings, worst first. *)

@@ -47,17 +47,26 @@ let tenant_series id dir ~tenant =
   Printf.sprintf "link.%d.%s.tenant.%d.bytes" id (dir_label dir) tenant
 
 let ddio_series ~socket = Printf.sprintf "ddio.%d.hit" socket
+let latency_series id dir = Printf.sprintf "link.%d.%s.latency" id (dir_label dir)
+let flow_latency_series = "flow.latency"
 
 let sockets_of topo =
   T.Topology.find_devices topo (fun d ->
       match d.T.Device.kind with T.Device.Cpu_socket _ -> true | _ -> false)
   |> List.map (fun (d : T.Device.t) -> d.T.Device.socket)
 
-(* Number of scalar samples one tick produces. *)
+(* Number of scalar samples one tick produces. With the latency-sketch
+   plane on, each (link, dir) and the flow roll-up add one percentile
+   snapshot = 7 scalar fields. *)
 let samples_per_tick t =
   let topo = Fabric.topology t.fabric in
   let per_link = 2 * (2 + List.length t.config.tenants) in
-  (T.Topology.link_count topo * per_link) + List.length (sockets_of topo)
+  let latency =
+    if Fabric.latency_sketches_enabled t.fabric then
+      7 * ((2 * T.Topology.link_count topo) + 1)
+    else 0
+  in
+  (T.Topology.link_count topo * per_link) + List.length (sockets_of topo) + latency
 
 (* When shipping, telemetry flows run from every I/O device to the
    collector, splitting the aggregate telemetry rate evenly — a fluid
@@ -140,6 +149,29 @@ let rec tick t _sim =
         | Some h -> put t ~series:(ddio_series ~socket:s) ~at:now h
         | None -> ())
       (sockets_of topo);
+    (* Latency percentiles, one sub-series per field so each funnels
+       through [put] and stays individually corruptible by a
+       [Series]-scoped sensor fault. Dormant sketch plane: zero work. *)
+    if Fabric.latency_sketches_enabled t.fabric then begin
+      let put_pct ~base sk =
+        if U.Sketch.count sk > 0 then
+          List.iter
+            (fun (f, v) -> put t ~series:(Telemetry.pct_series ~series:base f) ~at:now v)
+            (Telemetry.pct_fields (U.Sketch.snapshot sk))
+      in
+      List.iter
+        (fun (l : T.Link.t) ->
+          List.iter
+            (fun dir ->
+              match Fabric.link_latency_sketch t.fabric l.T.Link.id dir with
+              | Some sk -> put_pct ~base:(latency_series l.T.Link.id dir) sk
+              | None -> ())
+            [ T.Link.Fwd; T.Link.Rev ])
+        (T.Topology.links topo);
+      match Fabric.flow_latency_sketch t.fabric with
+      | Some sk -> put_pct ~base:flow_latency_series sk
+      | None -> ()
+    end;
     t.ticks <- t.ticks + 1;
     (match t.config.processing with
     | Local { cost_per_sample } ->

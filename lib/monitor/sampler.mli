@@ -68,3 +68,13 @@ val util_series : Ihnet_topology.Link.id -> Ihnet_topology.Link.dir -> string
 val bytes_series : Ihnet_topology.Link.id -> Ihnet_topology.Link.dir -> string
 val tenant_series : Ihnet_topology.Link.id -> Ihnet_topology.Link.dir -> tenant:int -> string
 val ddio_series : socket:int -> string
+
+val latency_series : Ihnet_topology.Link.id -> Ihnet_topology.Link.dir -> string
+(** Base name of a link's latency-percentile snapshot
+    (["link.3.fwd.latency"]); fields live in [.p50]/[.p99]/… sub-series
+    (see {!Telemetry.pct_series}). Sampled only while the fabric's
+    latency-sketch plane is enabled, once the sketch has samples. *)
+
+val flow_latency_series : string
+(** Base name of the host-wide end-to-end flow-latency snapshot,
+    recorded at flow completions (["flow.latency"]). *)

@@ -1,4 +1,5 @@
 module Ring = Ihnet_util.Ring_buffer
+module Sketch = Ihnet_util.Sketch
 
 type sample = { at : Ihnet_util.Units.ns; value : float }
 type t = { capacity : int; series : (string, sample Ring.t) Hashtbl.t }
@@ -77,6 +78,45 @@ let to_csv ?series t =
           (List.stable_sort (fun a b -> compare a.at b.at) (Ring.to_list r)))
     names;
   Buffer.contents buf
+
+(* Percentile snapshots decompose into one plain sub-series per field,
+   so every existing consumer — windows, CSV export, staleness, anomaly
+   detectors — works on tail latency unchanged. *)
+let pct_fields (s : Sketch.snapshot) =
+  [
+    ("count", float_of_int s.Sketch.s_count);
+    ("mean", s.Sketch.s_mean);
+    ("p50", s.Sketch.s_p50);
+    ("p90", s.Sketch.s_p90);
+    ("p99", s.Sketch.s_p99);
+    ("p999", s.Sketch.s_p999);
+    ("max", s.Sketch.s_max);
+  ]
+
+let pct_series ~series field = series ^ "." ^ field
+
+let record_pct t ~series ~at snap =
+  List.iter (fun (f, v) -> record t ~series:(pct_series ~series f) ~at v) (pct_fields snap)
+
+let latest_pct t ~series =
+  let get f =
+    match latest t ~series:(pct_series ~series f) with
+    | Some s -> s.value
+    | None -> nan
+  in
+  match latest t ~series:(pct_series ~series "count") with
+  | None -> None
+  | Some c ->
+    Some
+      {
+        Sketch.s_count = int_of_float c.value;
+        s_mean = get "mean";
+        s_p50 = get "p50";
+        s_p90 = get "p90";
+        s_p99 = get "p99";
+        s_p999 = get "p999";
+        s_max = get "max";
+      }
 
 let dropped_samples t = Hashtbl.fold (fun _ r acc -> acc + Ring.dropped r) t.series 0
 let memory_samples t = Hashtbl.fold (fun _ r acc -> acc + Ring.length r) t.series 0

@@ -39,6 +39,33 @@ val staleness : t -> series:string -> now:Ihnet_util.Units.ns -> Ihnet_util.Unit
     has never produced a sample (which callers should treat as the
     {e most} stale). *)
 
+(** {1 Percentile snapshots}
+
+    Latency-sketch summaries are stored as one plain sub-series per
+    field ([<series>.count], [.mean], [.p50], [.p90], [.p99], [.p999],
+    [.max]), so windows, CSV export, staleness tracking and anomaly
+    detectors all apply to tail latency with no new machinery. *)
+
+val pct_series : series:string -> string -> string
+(** [pct_series ~series field] is the sub-series name
+    [series ^ "." ^ field]. *)
+
+val pct_fields : Ihnet_util.Sketch.snapshot -> (string * float) list
+(** A snapshot decomposed into [(field, value)] pairs in pinned order
+    ([count]; [mean]; [p50]; [p90]; [p99]; [p999]; [max]) — what
+    {!record_pct} writes, exposed so samplers can route each field
+    through their own recording funnel. *)
+
+val record_pct :
+  t -> series:string -> at:Ihnet_util.Units.ns -> Ihnet_util.Sketch.snapshot -> unit
+(** Record every field of a percentile snapshot under its sub-series. *)
+
+val latest_pct : t -> series:string -> Ihnet_util.Sketch.snapshot option
+(** Reassemble the freshest snapshot from the sub-series; [None] before
+    the first {!record_pct} (judged on the [.count] sub-series; fields
+    individually missing — e.g. dropped by a sensor fault — read as
+    [nan]). *)
+
 val dropped_samples : t -> int
 (** Total samples lost to ring-buffer overwrite, across series. *)
 

@@ -1,6 +1,10 @@
-(* Buckets are indexed by (octave, sub-bucket): octave = floor(log2 v),
-   sub-bucket = position within the octave. Values in [0,1) land in
-   octave 0's linear range. We support values up to 2^52. *)
+(* Buckets are indexed by (octave, sub-bucket): octave = exponent of
+   the largest power of two <= v, sub-bucket = position within the
+   octave. Values in [0,1) land in octave 0's linear range. We support
+   values up to 2^52. The octave comes from Float.frexp, which is
+   exact; floor (log2 v) rounds up for v just below a power of two
+   (log2 (pred 8.0) = 3.0 in doubles), which made frac negative and
+   misbucketed into the previous octave. *)
 
 type t = {
   sub : int;
@@ -18,9 +22,10 @@ let create ?(sub = 32) () =
 let bucket_of t v =
   if v < 1.0 then int_of_float (v *. float_of_int t.sub)
   else begin
-    let octave = int_of_float (Float.floor (Float.log2 v)) in
-    let base = 2.0 ** float_of_int octave in
-    let frac = (v -. base) /. base in
+    let m, e = Float.frexp v in
+    (* v = m * 2^e with m in [0.5,1), so v in [2^(e-1), 2^e) *)
+    let octave = e - 1 in
+    let frac = (m *. 2.0) -. 1.0 in
     let sb = int_of_float (frac *. float_of_int t.sub) in
     let sb = if sb >= t.sub then t.sub - 1 else sb in
     ((octave + 1) * t.sub) + sb
@@ -36,7 +41,7 @@ let value_of t idx =
   end
 
 let add t v =
-  if Float.is_nan v || v < 0.0 then ()
+  if not (Float.is_finite v) || v < 0.0 then ()
   else begin
     let idx = bucket_of t v in
     let cur = Option.value ~default:0 (Hashtbl.find_opt t.counts idx) in
@@ -77,7 +82,9 @@ let percentile t q =
         let acc = acc +. float_of_int c in
         if acc >= target then value_of t idx else walk acc rest
     in
-    walk 0.0 (sorted_buckets t)
+    (* bucket midpoints can exceed the largest observed value; keep the
+       estimate inside [min, max] *)
+    Float.min t.mx (Float.max t.mn (walk 0.0 (sorted_buckets t)))
   end
 
 let max_value t = if t.n = 0 then nan else t.mx

@@ -10,7 +10,9 @@ val create : ?sub:int -> unit -> t
 (** [sub] sub-buckets per octave (default 32 — ~3% relative error). *)
 
 val add : t -> float -> unit
-(** Record a value. Negative or NaN values are ignored. *)
+(** Record a value. Negative or non-finite values (NaN, [infinity])
+    are ignored — an infinite value would otherwise compute a garbage
+    bucket index and permanently poison [sum]/[mean]. *)
 
 val merge : t -> t -> unit
 (** [merge dst src] adds all of [src]'s counts into [dst]. The two must
@@ -25,7 +27,8 @@ val mean : t -> float
 val percentile : t -> float -> float
 (** [percentile t q], [q] in [\[0,1\]]; [nan] when empty. Returns the
     representative (midpoint) value of the bucket holding the q-th
-    sample. *)
+    sample, clamped to [\[min_value, max_value\]] (a lone sample's
+    bucket midpoint can stick out past the sample itself). *)
 
 val max_value : t -> float
 (** Largest recorded value (exact). [nan] when empty. *)

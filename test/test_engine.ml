@@ -207,6 +207,15 @@ let latency_tests =
         check_close "1KB at 1GB/s = 1us" 1000.0
           (Latency.serialization ~bytes:1000.0 ~rate:1e9);
         check_close "infinite rate" 0.0 (Latency.serialization ~bytes:1e6 ~rate:infinity));
+    tc "serialization at zero rate is stalled, not infinite" (fun () ->
+        (* regression: bytes /. 0.0 used to return infinity, which then
+           poisoned every sum it entered *)
+        check_close "zero rate" Latency.stalled (Latency.serialization ~bytes:1000.0 ~rate:0.0);
+        check_close "negative rate" Latency.stalled
+          (Latency.serialization ~bytes:1000.0 ~rate:(-1.0));
+        check_close "nan rate" Latency.stalled (Latency.serialization ~bytes:1000.0 ~rate:nan);
+        Alcotest.(check bool) "finite" true
+          (Float.is_finite (Latency.serialization ~bytes:1e30 ~rate:1e-30)));
   ]
 
 (* {1 IOMMU model} *)
@@ -549,6 +558,64 @@ let fabric_properties =
              (T.Topology.links topo)));
   ]
 
+(* {1 Always-on latency sketches} *)
+
+let sketch_plane_tests =
+  let mk enable =
+    let topo = T.Builder.two_socket_server () in
+    let sim = Sim.create () in
+    let fab = Fabric.create sim topo in
+    if enable then Fabric.enable_latency_sketches fab;
+    fab
+  in
+  (* identical churn on each fabric: an unbounded background flow plus
+     a stream of bounded requests whose completions hit the flow sketch *)
+  let drive fab =
+    let topo = Fabric.topology fab in
+    let p = path topo "ext" "socket0" in
+    ignore (Fabric.start_flow fab ~tenant:1 ~path:p ~size:Flow.Unbounded ());
+    for i = 1 to 10 do
+      ignore (Fabric.start_flow fab ~tenant:2 ~demand:1e9 ~path:p ~size:(Flow.Bytes 50_000.0) ());
+      Sim.run ~until:(float_of_int i *. 100_000.0) (Fabric.sim fab)
+    done;
+    ( Fabric.reallocations fab,
+      List.map (fun (f : Flow.t) -> Int64.bits_of_float f.Flow.rate) (Fabric.active_flows fab) )
+  in
+  [
+    tc "dormant plane reads None" (fun () ->
+        let fab = mk false in
+        Alcotest.(check bool) "disabled" false (Fabric.latency_sketches_enabled fab);
+        Alcotest.(check bool) "no flow sketch" true (Fabric.flow_latency_sketch fab = None);
+        Alcotest.(check bool) "no link sketch" true
+          (Fabric.link_latency_sketch fab 0 T.Link.Fwd = None));
+    tc "enabled plane observes without steering" (fun () ->
+        let bare = mk false and sketched = mk true in
+        let sig0 = drive bare and sig1 = drive sketched in
+        Alcotest.(check bool) "reallocations and rates bit-identical" true (sig0 = sig1);
+        (match Fabric.flow_latency_sketch sketched with
+        | Some sk ->
+          Alcotest.(check bool) "completions observed" true (Ihnet_util.Sketch.count sk > 0)
+        | None -> Alcotest.fail "flow sketch missing");
+        let p = path (Fabric.topology sketched) "ext" "socket0" in
+        let h = List.hd p.T.Path.hops in
+        match Fabric.link_latency_sketch sketched h.T.Path.link.T.Link.id h.T.Path.dir with
+        | Some sk -> Alcotest.(check bool) "epochs observed" true (Ihnet_util.Sketch.count sk > 0)
+        | None -> Alcotest.fail "link sketch missing");
+    tc "enable is idempotent" (fun () ->
+        let fab = mk true in
+        ignore (drive fab);
+        let before =
+          match Fabric.flow_latency_sketch fab with
+          | Some sk -> Ihnet_util.Sketch.count sk
+          | None -> Alcotest.fail "flow sketch missing"
+        in
+        Fabric.enable_latency_sketches fab;
+        (match Fabric.flow_latency_sketch fab with
+        | Some sk -> Alcotest.(check int) "samples kept" before (Ihnet_util.Sketch.count sk)
+        | None -> Alcotest.fail "flow sketch lost");
+        Alcotest.(check bool) "still enabled" true (Fabric.latency_sketches_enabled fab));
+  ]
+
 let suites =
   [
     ("engine.sim", sim_tests);
@@ -557,4 +624,5 @@ let suites =
     ("engine.iommu", iommu_tests);
     ("engine.cache", cache_tests);
     ("engine.fabric", fabric_tests @ fabric_properties);
+    ("engine.sketches", sketch_plane_tests);
   ]

@@ -49,6 +49,27 @@ let host_tests =
     tc "clean config reports no findings" (fun () ->
         let h = Host.create Host.Two_socket in
         Alcotest.(check (list string)) "clean" [] (Host.check_configuration h));
+    tc "default wiring leaves the sketch plane dormant" (fun () ->
+        let h = Host.create Host.Minimal in
+        ignore (Host.start_monitoring h ());
+        ignore (Host.enable_manager h ());
+        Alcotest.(check bool) "dormant" false
+          (E.Fabric.latency_sketches_enabled (Host.fabric h)));
+    tc "wiring.latency_sketches arms the plane" (fun () ->
+        let h = Host.create Host.Minimal in
+        ignore
+          (Host.start_monitoring h
+             ~wiring:{ Host.default_wiring with Host.latency_sketches = true }
+             ());
+        Alcotest.(check bool) "enabled via monitoring" true
+          (E.Fabric.latency_sketches_enabled (Host.fabric h));
+        let h2 = Host.create Host.Minimal in
+        ignore
+          (Host.enable_manager h2
+             ~wiring:{ Host.default_wiring with Host.latency_sketches = true }
+             ());
+        Alcotest.(check bool) "enabled via manager" true
+          (E.Fabric.latency_sketches_enabled (Host.fabric h2)));
   ]
 
 (* End-to-end scenario: the paper's §2 interference story plus its §3

@@ -42,6 +42,15 @@ let intent_tests =
     tc "hose totals both directions" (fun () ->
         let i = Intent.hose ~tenant:1 ~endpoint:"nic0" ~to_host:2e9 ~from_host:1e9 in
         check_close "total" 3e9 (Intent.total_guaranteed i));
+    tc "p99 bound must be positive" (fun () ->
+        let with_bound b =
+          { (Intent.pipe ~tenant:1 ~src:"a" ~dst:"b" ~rate:1.0) with Intent.p99_bound = b }
+        in
+        Alcotest.(check bool) "zero" true (Result.is_error (Intent.validate (with_bound (Some 0.0))));
+        Alcotest.(check bool) "negative" true
+          (Result.is_error (Intent.validate (with_bound (Some (-5.0)))));
+        Alcotest.(check bool) "positive ok" true
+          (Result.is_ok (Intent.validate (with_bound (Some 1000.0)))));
   ]
 
 (* {1 Interpreter} *)
@@ -78,6 +87,37 @@ let interpreter_tests =
           {
             (Intent.pipe ~tenant:1 ~src:"gpu0" ~dst:"gpu1" ~rate:1e9) with
             Intent.latency_bound = Some 10.0 (* impossible: cross-socket needs >500ns *);
+          }
+        in
+        Alcotest.(check bool) "rejected" true (Result.is_error (Interpreter.compile topo tight)));
+    tc "p99 bound threads through compile to the placement" (fun () ->
+        let topo, _, fab = make_host () in
+        let bound = U.Units.us 50.0 in
+        let i =
+          {
+            (Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:1e9) with
+            Intent.p99_bound = Some bound;
+          }
+        in
+        (match Interpreter.compile topo i with
+        | Ok [ req ] ->
+          Alcotest.(check bool) "requirement carries bound" true
+            (req.Interpreter.p99_bound = Some bound)
+        | Ok _ -> Alcotest.fail "expected one requirement"
+        | Error e -> Alcotest.fail (Mgr_error.to_string e));
+        let mgr = Manager.create fab () in
+        match Manager.submit mgr i with
+        | Ok [ p ] ->
+          Alcotest.(check bool) "placement carries bound" true
+            (p.Placement.p99_bound = Some bound)
+        | Ok _ -> Alcotest.fail "expected one placement"
+        | Error e -> Alcotest.fail (Mgr_error.to_string e));
+    tc "p99 bound filters idle-infeasible candidates" (fun () ->
+        let topo, _, _ = make_host () in
+        let tight =
+          {
+            (Intent.pipe ~tenant:1 ~src:"gpu0" ~dst:"gpu1" ~rate:1e9) with
+            Intent.p99_bound = Some 10.0 (* a p99 bound is also a latency bound *);
           }
         in
         Alcotest.(check bool) "rejected" true (Result.is_error (Interpreter.compile topo tight)));
@@ -473,6 +513,74 @@ let planner_tests =
         check_close "total" 9e9 (Intent.total_guaranteed scaled));
   ]
 
+(* {1 SLO tail-latency verdicts} *)
+
+let slo_tests =
+  let submit_bounded mgr bound =
+    match
+      Manager.submit mgr
+        {
+          (Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:1e9) with
+          Intent.p99_bound = Some bound;
+        }
+    with
+    | Ok [ p ] -> p
+    | Ok _ -> Alcotest.fail "expected one placement"
+    | Error e -> Alcotest.fail (Mgr_error.to_string e)
+  in
+  let one_entry mgr =
+    match (Slo.check mgr).Slo.entries with
+    | [ e ] -> e
+    | es -> Alcotest.failf "expected one entry, got %d" (List.length es)
+  in
+  [
+    tc "sketch-observed p99 closes the tail-latency loop" (fun () ->
+        let _, sim, fab = make_host () in
+        E.Fabric.enable_latency_sketches fab;
+        let mgr = Manager.create fab () in
+        let bound = U.Units.us 50.0 in
+        let p = submit_bounded mgr bound in
+        (* demand pinned at the guarantee: an elastic flow would saturate
+           the path and honestly blow the 50us bound on queueing alone *)
+        let f =
+          E.Fabric.start_flow fab ~tenant:1 ~demand:1e9 ~path:p.Placement.path
+            ~size:E.Flow.Unbounded ()
+        in
+        ignore (Manager.attach mgr f);
+        E.Sim.run ~until:(U.Units.ms 1.0) sim;
+        let e = one_entry mgr in
+        Alcotest.(check bool) "sketches observed the path" true (e.Slo.observed_p99 <> None);
+        Alcotest.(check bool) "met within bound" true (e.Slo.state = Slo.Met);
+        (* pollute the first hop's sketch far past the bound: the verdict
+           must flip on the observed percentile, no fault needed *)
+        let h = List.hd p.Placement.path.T.Path.hops in
+        (match E.Fabric.link_latency_sketch fab h.T.Path.link.T.Link.id h.T.Path.dir with
+        | Some sk -> for _ = 1 to 1000 do U.Sketch.record sk (U.Units.us 500.0) done
+        | None -> Alcotest.fail "sketch plane missing");
+        let e = one_entry mgr in
+        (match e.Slo.state with
+        | Slo.Violated why ->
+          Alcotest.(check bool) "verdict names the observed p99" true
+            (String.length why >= 12 && String.sub why 0 12 = "observed p99")
+        | _ -> Alcotest.fail "expected a tail violation");
+        match e.Slo.observed_p99 with
+        | Some obs -> Alcotest.(check bool) "beyond bound" true (obs > bound)
+        | None -> Alcotest.fail "no observed p99 in the entry");
+    tc "dormant plane falls back to the instantaneous estimate" (fun () ->
+        let _, sim, fab = make_host () in
+        let mgr = Manager.create fab () in
+        let p = submit_bounded mgr (U.Units.ms 1.0) in
+        let f =
+          E.Fabric.start_flow fab ~tenant:1 ~demand:1e9 ~path:p.Placement.path
+            ~size:E.Flow.Unbounded ()
+        in
+        ignore (Manager.attach mgr f);
+        E.Sim.run ~until:(U.Units.ms 1.0) sim;
+        let e = one_entry mgr in
+        Alcotest.(check bool) "no sketch observation" true (e.Slo.observed_p99 = None);
+        Alcotest.(check bool) "still judged, and met" true (e.Slo.state = Slo.Met));
+  ]
+
 (* {1 Policies} *)
 
 let policy_tests =
@@ -509,5 +617,6 @@ let suites =
     ("manager.hose", hose_tests);
     ("manager.vnet", vnet_tests);
     ("manager.planner", planner_tests);
+    ("manager.slo", slo_tests);
     ("manager.policy", policy_tests);
   ]

@@ -585,6 +585,106 @@ let diagnostics_tests =
         Alcotest.(check int) "dir filter" 0 (List.length captured_rev));
   ]
 
+(* {1 Latency-percentile plane: telemetry, sampler, fleet, anomaly} *)
+
+(* a member whose flow sketch holds exactly [values] (recorded through
+   the fabric's own handle — the sketch plane is shared state, which is
+   precisely what Fleet merges) *)
+let sketch_member label values =
+  let _, _, fab = make_host () in
+  E.Fabric.enable_latency_sketches fab;
+  (match E.Fabric.flow_latency_sketch fab with
+  | Some sk -> List.iter (U.Sketch.record sk) values
+  | None -> Alcotest.fail "sketch plane missing");
+  { Fleet.label; counter = Counter.create fab ~fidelity:Counter.Software; tenants = [ 1 ] }
+
+let latency_plane_tests =
+  [
+    tc "telemetry pct snapshot roundtrips" (fun () ->
+        let tm = Telemetry.create () in
+        let sk = U.Sketch.create () in
+        List.iter (U.Sketch.record sk) [ 10.0; 20.0; 30.0 ];
+        let snap = U.Sketch.snapshot sk in
+        Telemetry.record_pct tm ~series:"link.0.fwd.latency" ~at:1.0 snap;
+        (match Telemetry.latest_pct tm ~series:"link.0.fwd.latency" with
+        | Some got ->
+          Alcotest.(check int) "count" 3 got.U.Sketch.s_count;
+          Alcotest.(check (float 0.0)) "p99" snap.U.Sketch.s_p99 got.U.Sketch.s_p99;
+          Alcotest.(check (float 0.0)) "max" snap.U.Sketch.s_max got.U.Sketch.s_max
+        | None -> Alcotest.fail "roundtrip lost");
+        Alcotest.(check bool) "fields are plain sub-series" true
+          (List.mem "link.0.fwd.latency.p99" (Telemetry.series_names tm));
+        Alcotest.(check bool) "unknown series reads None" true
+          (match Telemetry.latest_pct tm ~series:"nope" with None -> true | Some _ -> false));
+    tc "sampler ships latency percentiles when the plane is on" (fun () ->
+        let _, sim, fab = make_host () in
+        E.Fabric.enable_latency_sketches fab;
+        let p = path fab "nic0" "socket0" in
+        ignore (E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:E.Flow.Unbounded ());
+        let s = Sampler.start fab (Sampler.default_config ()) in
+        E.Sim.run ~until:(U.Units.ms 1.0) sim;
+        let link, dir = first_link p in
+        (match Telemetry.latest_pct (Sampler.telemetry s) ~series:(Sampler.latency_series link dir) with
+        | Some snap -> Alcotest.(check bool) "samples" true (snap.U.Sketch.s_count > 0)
+        | None -> Alcotest.fail "no latency snapshot in telemetry");
+        Sampler.stop s);
+    tc "dormant plane leaves telemetry latency-free" (fun () ->
+        let _, sim, fab = make_host () in
+        let p = path fab "nic0" "socket0" in
+        ignore (E.Fabric.start_flow fab ~tenant:1 ~path:p ~size:E.Flow.Unbounded ());
+        let s = Sampler.start fab (Sampler.default_config ()) in
+        E.Sim.run ~until:(U.Units.ms 1.0) sim;
+        let has_latency =
+          List.exists
+            (fun n ->
+              let needle = ".latency" in
+              let ln = String.length needle and n_len = String.length n in
+              let rec go i = i + ln <= n_len && (String.sub n i ln = needle || go (i + 1)) in
+              go 0)
+            (Telemetry.series_names (Sampler.telemetry s))
+        in
+        Alcotest.(check bool) "no latency series" false has_latency;
+        Sampler.stop s);
+    tc "fleet merges member sketches into fleet percentiles" (fun () ->
+        let a = sketch_member "a" [ 100.0; 200.0; 300.0 ] in
+        let b = sketch_member "b" [ 1000.0 ] in
+        let calm = fleet_member "calm" (* dormant plane: no tail *) in
+        let t = Fleet.collect [ b; calm; a ] in
+        (match t.Fleet.fleet_tail with
+        | Some s ->
+          Alcotest.(check int) "merged count" 4 s.U.Sketch.s_count;
+          Alcotest.(check (float 1e-9)) "max exact" 1000.0 s.U.Sketch.s_max;
+          (* bit-identical to recording everything into one sketch *)
+          let all = U.Sketch.create () in
+          List.iter (U.Sketch.record all) [ 100.0; 200.0; 300.0; 1000.0 ];
+          Alcotest.(check bool) "== single-sketch percentiles" true
+            (Int64.bits_of_float s.U.Sketch.s_p99
+            = Int64.bits_of_float (U.Sketch.snapshot all).U.Sketch.s_p99)
+        | None -> Alcotest.fail "no fleet tail");
+        let status label =
+          match List.find_opt (fun (h : Fleet.host_status) -> h.Fleet.label = label) t.Fleet.hosts with
+          | Some h -> h
+          | None -> Alcotest.failf "host %s missing" label
+        in
+        Alcotest.(check bool) "member tail present" true ((status "a").Fleet.tail <> None);
+        Alcotest.(check bool) "dormant member has none" true ((status "calm").Fleet.tail = None));
+    tc "watch_tail alarms on a p99 breach" (fun () ->
+        let tm = Telemetry.create () in
+        let an = Anomaly.create () in
+        Anomaly.watch_tail an ~series:"flow.latency" ~p99_above:500.0 ();
+        let sk = U.Sketch.create () in
+        List.iter (U.Sketch.record sk) [ 100.0; 120.0 ];
+        Telemetry.record_pct tm ~series:"flow.latency" ~at:1.0 (U.Sketch.snapshot sk);
+        Anomaly.feed an tm;
+        Alcotest.(check int) "quiet under the bound" 0 (List.length (Anomaly.alarms an));
+        List.iter (U.Sketch.record sk) (List.init 300 (fun _ -> 2000.0));
+        Telemetry.record_pct tm ~series:"flow.latency" ~at:2.0 (U.Sketch.snapshot sk);
+        Anomaly.feed an tm;
+        match Anomaly.first_alarm an with
+        | Some a -> Alcotest.(check string) "p99 sub-series fired" "flow.latency.p99" a.Anomaly.series
+        | None -> Alcotest.fail "no alarm on breach");
+  ]
+
 let suites =
   [
     ("monitor.counter", counter_tests);
@@ -595,4 +695,5 @@ let suites =
     ("monitor.anomaly", anomaly_tests);
     ("monitor.rootcause", rootcause_tests);
     ("monitor.diagnostics", diagnostics_tests);
+    ("monitor.latency", latency_plane_tests);
   ]

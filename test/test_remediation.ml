@@ -327,6 +327,79 @@ let remediation_tests =
         match Manager.affected_placements mgr bad with
         | [ p ] -> Alcotest.(check int) "the gpu pipe" p1.Placement.id p.Placement.id
         | l -> Alcotest.failf "expected one affected placement, got %d" (List.length l));
+    tc "tail detector is silent while the sketch plane is dormant" (fun () ->
+        let sim, fab, mgr = make_mgr () in
+        let p =
+          submit_one mgr
+            {
+              (Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:1e9) with
+              Intent.p99_bound = Some (U.Units.us 10.0);
+            }
+        in
+        let f = start_on fab p ~demand:1e9 () in
+        ignore (Manager.attach mgr f);
+        run_for sim (U.Units.ms 1.0);
+        Alcotest.(check (list (pair int (float 0.0)))) "no verdicts" []
+          (Remediation.tail_latency_source mgr ()));
+    tc "tail detector blames the worst hop once the bound is breached" (fun () ->
+        let sim, fab, mgr = make_mgr () in
+        E.Fabric.enable_latency_sketches fab;
+        let bound = U.Units.us 10.0 in
+        let p =
+          submit_one mgr
+            {
+              (Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:1e9) with
+              Intent.p99_bound = Some bound;
+            }
+        in
+        let f = start_on fab p ~demand:1e9 () in
+        ignore (Manager.attach mgr f);
+        run_for sim (U.Units.ms 1.0);
+        Alcotest.(check (list (pair int (float 0.0)))) "quiet within bound" []
+          (Remediation.tail_latency_source mgr ());
+        let h = List.nth p.Placement.path.T.Path.hops 1 in
+        let bad = h.T.Path.link.T.Link.id in
+        (match E.Fabric.link_latency_sketch fab bad h.T.Path.dir with
+        | Some sk -> for _ = 1 to 1000 do U.Sketch.record sk (5.0 *. bound) done
+        | None -> Alcotest.fail "sketch plane missing");
+        match Remediation.tail_latency_source mgr () with
+        | [ (link, score) ] ->
+          Alcotest.(check int) "blames the polluted hop" bad link;
+          Alcotest.(check bool) "score positive and clamped" true (score > 0.0 && score <= 1.0)
+        | l -> Alcotest.failf "expected one verdict, got %d" (List.length l));
+    tc "tail detector drives re-placement off a latency-only fault" (fun () ->
+        (* extra_latency with capacity_factor 1.0: invisible to every
+           bandwidth detector, only the sketches can see it *)
+        let sim, fab, mgr = make_mgr () in
+        E.Fabric.enable_latency_sketches fab;
+        let config = { Remediation.default_config with Remediation.use_fault_events = false } in
+        let rem = Remediation.create ~config mgr in
+        Remediation.start rem;
+        Remediation.add_source rem ~name:"tail" (Remediation.tail_latency_source mgr);
+        let bound = U.Units.us 50.0 in
+        let p =
+          submit_one mgr
+            {
+              (Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate:5e9) with
+              Intent.p99_bound = Some bound;
+            }
+        in
+        let f = start_on fab p ~demand:5e9 () in
+        ignore (Manager.attach mgr f);
+        run_for sim (U.Units.ms 1.0);
+        let bad = hop_link p 1 in
+        E.Fabric.inject_fault fab bad
+          (E.Fault.degrade ~capacity_factor:1.0 ~extra_latency:(20.0 *. bound) ());
+        run_for sim (U.Units.ms 10.0);
+        (match Remediation.case_for rem bad with
+        | None -> Alcotest.fail "tail verdict did not open a case"
+        | Some c ->
+          Alcotest.(check bool) "resolved" true (c.Remediation.status = Remediation.Resolved));
+        Alcotest.(check bool) "placement moved off the slow link" true
+          (not
+             (List.exists
+                (fun (h : T.Path.hop) -> h.T.Path.link.T.Link.id = bad)
+                p.Placement.path.T.Path.hops)));
     tc "host wires heartbeat localization as a detector" (fun () ->
         let host = Ihnet.Host.create Ihnet.Host.Two_socket in
         let config =

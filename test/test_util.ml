@@ -225,6 +225,40 @@ let histogram_tests =
         List.iter (Histogram.add h) xs;
         let p50 = Histogram.percentile h 0.5 and p99 = Histogram.percentile h 0.99 in
         p99 >= p50 *. 0.999);
+    tc "infinity is ignored, not binned" (fun () ->
+        (* regression: add used to compute a bucket for infinity and
+           blow up the octave index *)
+        let h = Histogram.create () in
+        Histogram.add h infinity;
+        Histogram.add h neg_infinity;
+        Alcotest.(check int) "empty" 0 (Histogram.count h);
+        Histogram.add h 1.0;
+        Histogram.add h infinity;
+        Alcotest.(check int) "finite only" 1 (Histogram.count h);
+        Alcotest.(check (float 1e-9)) "max unpolluted" 1.0 (Histogram.max_value h));
+    tc "octave boundary: pred 8.0 stays in its octave" (fun () ->
+        (* regression: floor (log2 v) rounds Float.pred 8.0 UP to 3.0
+           in doubles, mis-binning it into the [8,16) octave; frexp is
+           exact. The estimate must stay within the value's true
+           bucket, hence strictly below 8. *)
+        let v = Float.pred 8.0 in
+        let h = Histogram.create () in
+        Histogram.add h v;
+        let got = Histogram.percentile h 0.5 in
+        Alcotest.(check bool) "within [4,8)" true (got >= 4.0 && got < 8.0));
+    tc "percentile never leaves the observed range" (fun () ->
+        (* regression: a lone 513 used to report its bucket midpoint
+           520 — above every recorded value *)
+        let h = Histogram.create () in
+        Histogram.add h 513.0;
+        Alcotest.(check (float 1e-9)) "clamped to max" 513.0 (Histogram.percentile h 0.99));
+    prop "percentile bounded by min/max"
+      QCheck.(list_of_size Gen.(int_range 1 100) (float_range 0.001 1e6))
+      (fun xs ->
+        let h = Histogram.create () in
+        List.iter (Histogram.add h) xs;
+        let p = Histogram.percentile h 0.99 in
+        p >= Histogram.min_value h && p <= Histogram.max_value h);
   ]
 
 (* {1 Heap} *)
