@@ -430,6 +430,56 @@ let bench_sketch_idle () =
       t := !t +. 1e6;
       E.Sim.run ~until:!t sim)
 
+(* {1 scanport-idle: the zero-impact guarantee, mechanically checked}
+
+   Two identical 50 ms managed-host runs, both streaming the flight
+   recorder into a buffer. One additionally captures a full Scanport
+   snapshot at every reallocation epoch from a fabric listener. Because
+   capture is a pure read (no RNG draw, no lazy-sync, no event, no heap
+   generation, no warm-solver movement), the scanned run must be
+   bit-identical to the bare one: the two trace buffers compare equal
+   byte for byte — every digest the recorder emitted matches — and the
+   reallocation/decision counts are exactly equal. The scanned run must
+   also have captured something, or the equality would be vacuous. The
+   reported rate is simulated-ms/sec with scan-every-epoch active. *)
+
+let bench_scanport_idle () =
+  let measure ~scan =
+    let buf = Buffer.create 65536 in
+    let snaps = ref [] in
+    let sim, fab, mgr =
+      make_managed_host
+        ~wire:(fun fab ->
+          ignore (Rec.Recorder.attach ~label:"bench" ~sink:(Rec.Recorder.buffer_sink buf) fab);
+          if scan then
+            E.Fabric.subscribe fab (function
+              | E.Fabric.Reallocated _ -> snaps := Rec.Scanport.capture fab :: !snaps
+              | _ -> ()))
+        ()
+    in
+    E.Sim.run ~until:50e6 sim;
+    ((E.Fabric.reallocations fab, M.Manager.decisions mgr), Buffer.contents buf, !snaps, sim)
+  in
+  let baseline, bare_trace, _, _ = measure ~scan:false in
+  let scanned, scanned_trace, snaps, sim = measure ~scan:true in
+  if scanned <> baseline then
+    failwith
+      (Printf.sprintf
+         "scanport-idle: scanning steered the run — %d reallocations/%d decisions bare, %d/%d \
+          scanned"
+         (fst baseline) (snd baseline) (fst scanned) (snd scanned));
+  if scanned_trace <> bare_trace then
+    failwith "scanport-idle: scan-every-epoch run produced a different trace than the bare run";
+  (match snaps with
+  | [] -> failwith "scanport-idle: scan-every-epoch run captured no snapshots"
+  | last :: _ ->
+    (* the chain must really be read out, not elided *)
+    if last.Rec.Scanport.s_regs = [] then failwith "scanport-idle: empty scan chain");
+  let t = ref (E.Sim.now sim) in
+  time_ops (fun () ->
+      t := !t +. 1e6;
+      E.Sim.run ~until:!t sim)
+
 let () =
   let subjects =
     [
@@ -458,6 +508,7 @@ let () =
       ("flow-churn-coupled-par-4-4096", fun () -> bench_churn_coupled_par ~domains:4 4096);
       ("sketch-idle", bench_sketch_idle);
       ("flow-churn-sketch-4096", fun () -> bench_churn_sketch 4096);
+      ("scanport-idle", bench_scanport_idle);
     ]
   in
   let subjects =

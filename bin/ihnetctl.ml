@@ -813,11 +813,23 @@ let replay_cmd =
               | [] -> () ))
         perturb_at
     in
-    match Rec.Replay.replay_file ?perturb ?domains file with
+    match Rec.Trace.load file with
     | Error e -> failwith e
-    | Ok report ->
-      Format.printf "%a@." Rec.Replay.pp_report report;
-      if not (Rec.Replay.ok report) then exit 1
+    | Ok t ->
+      (* a perturbed replay is a divergence drill: pre-compute the clean
+         run's scan chain so the report can name the first bad register,
+         not just the first bad epoch *)
+      let reference =
+        match perturb with
+        | None -> None
+        | Some _ -> (
+          match Rec.Replay.scan_reference ?domains t with Ok r -> Some r | Error _ -> None)
+      in
+      (match Rec.Replay.run ?perturb ?domains ?reference t with
+      | Error e -> failwith e
+      | Ok report ->
+        Format.printf "%a@." Rec.Replay.pp_report report;
+        if not (Rec.Replay.ok report) then exit 1)
   in
   Cmd.v
     (Cmd.info "replay"
@@ -956,9 +968,114 @@ let latency_cmd =
           (flow end-to-end roll-up; per-link with $(b,--link)).")
     Term.(const run $ host_term $ load_flag $ link_flag $ ms)
 
+let scan_cmd =
+  let ms =
+    Arg.(
+      value & opt float 10.0
+      & info [ "ms" ] ~docv:"MS" ~doc:"Simulated milliseconds to run before scanning.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Save the (final) snapshot as JSON, readable back by $(b,scan --diff).")
+  in
+  let step =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "step" ] ~docv:"N"
+          ~doc:
+            "After the run, freeze the fabric and single-step up to $(docv) reallocation \
+             epochs, scanning at each boundary.")
+  in
+  let diff_flag =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Compare two saved snapshots ($(i,A) $(i,B)) instead of scanning a host; prints the \
+             first divergent register and exits 1 if they differ.")
+  in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"With $(b,--diff): also compare microarchitectural registers (warm-solver and \
+                memo counters), not just the architectural contract.")
+  in
+  let snap_a = Arg.(value & pos 0 (some file) None & info [] ~docv:"A") in
+  let snap_b = Arg.(value & pos 1 (some file) None & info [] ~docv:"B") in
+  let run host load ms out step diff all a b =
+    if diff then begin
+      let path = function
+        | Some p -> p
+        | None -> failwith "scan --diff needs two snapshot files: scan --diff A B"
+      in
+      let load_snap p =
+        match Rec.Scanport.load p with Ok s -> s | Error e -> failwith e
+      in
+      let sa = load_snap (path a) and sb = load_snap (path b) in
+      let scope = if all then `All else `Arch in
+      let compared =
+        List.length
+          (List.filter
+             (fun (r : Rec.Scanport.reg) -> all || r.Rec.Scanport.rkind = `Arch)
+             sa.Rec.Scanport.s_regs)
+      in
+      match Rec.Scanport.diff ~scope sa sb with
+      | None -> Printf.printf "scan diff: identical (%d registers compared)\n" compared
+      | Some m ->
+        Format.printf "scan diff: %a@." Rec.Scanport.pp_mismatch m;
+        exit 1
+    end
+    else begin
+      apply_load host load;
+      Ihnet.Host.run_for host (U.Units.ms ms);
+      let snap = Ihnet.Host.scan host in
+      Printf.printf "scan: epoch %d, %d registers, digest 0x%016Lx\n"
+        snap.Rec.Scanport.s_epoch
+        (List.length snap.Rec.Scanport.s_regs)
+        snap.Rec.Scanport.s_digest;
+      (match step with
+      | None -> ()
+      | Some n ->
+        let fz = Rec.Scanport.freeze (Ihnet.Host.fabric host) in
+        let stepped = ref 0 and live = ref true in
+        while !live && !stepped < n do
+          if Rec.Scanport.step fz 1 = 1 then begin
+            incr stepped;
+            let s = Ihnet.Host.scan host in
+            Printf.printf "step %d: epoch %d, digest 0x%016Lx\n" !stepped
+              s.Rec.Scanport.s_epoch s.Rec.Scanport.s_digest
+          end
+          else live := false
+        done;
+        if !stepped < n then
+          Printf.printf "event queue drained after %d epoch(s)\n" !stepped;
+        Rec.Scanport.thaw fz);
+      match out with
+      | None -> ()
+      | Some p ->
+        let final = Ihnet.Host.scan host in
+        Rec.Scanport.save p final;
+        Printf.printf "wrote %s\n" p
+    end
+  in
+  Cmd.v
+    (Cmd.info "scan"
+       ~doc:
+         "Out-of-band scan: dump the fabric's full register chain with zero impact; \
+          $(b,--step) single-steps epochs under freeze, $(b,--diff) compares two saved \
+          snapshots down to the first divergent register.")
+    Term.(
+      const run $ host_term $ load_flag $ ms $ out $ step $ diff_flag $ all_flag $ snap_a
+      $ snap_b)
+
 let main_cmd =
   let doc = "operator tools for the (simulated) manageable intra-host network" in
   Cmd.group (Cmd.info "ihnetctl" ~doc ~version:"1.0.0")
-    [ topo_cmd; ping_cmd; trace_cmd; perf_cmd; dump_cmd; check_cmd; heal_cmd; heartbeat_cmd; monitor_cmd; latency_cmd; plan_cmd; report_cmd; scenario_cmd; spec_cmd; record_cmd; replay_cmd; faults_cmd; bench_cmd ]
+    [ topo_cmd; ping_cmd; trace_cmd; perf_cmd; dump_cmd; check_cmd; heal_cmd; heartbeat_cmd; monitor_cmd; latency_cmd; plan_cmd; report_cmd; scenario_cmd; spec_cmd; record_cmd; replay_cmd; scan_cmd; faults_cmd; bench_cmd ]
 
 let () = exit (guarded (fun () -> Cmd.eval ~catch:false main_cmd))

@@ -163,6 +163,13 @@ let submit_intent t intent =
   let m = enable_manager t () in
   R.Manager.submit m intent
 
+(* The out-of-band scan surface: everything the host wired in —
+   remediation state machines, the evidence window — rides along in
+   the snapshot when present. A pure read (Scanport's zero-impact
+   contract), safe under any load. *)
+let scan t =
+  Ihnet_record.Scanport.capture ?remediation:t.remediation ?evidence:t.evidence t.fabric
+
 let ping t ~src ~dst = M.Diagnostics.ping_once t.fabric ~src ~dst
 let trace t ~src ~dst = M.Diagnostics.trace t.fabric ~src ~dst
 let bandwidth t ~src ~dst = M.Diagnostics.perf_now t.fabric ~src ~dst

@@ -117,6 +117,12 @@ val submit_intent :
 
 (** {1 Diagnostics shortcuts} *)
 
+val scan : t -> Ihnet_record.Scanport.snapshot
+(** Dump the host's full scan chain ({!Ihnet_record.Scanport}):
+    fabric registers always, plus the remediation state machines and
+    the evidence window when those subsystems are enabled. Zero
+    impact — a scanned run is bit-identical to a bare one. *)
+
 val ping : t -> src:string -> dst:string -> Ihnet_util.Units.ns option
 val trace : t -> src:string -> dst:string -> Ihnet_monitor.Diagnostics.trace_hop list
 val bandwidth : t -> src:string -> dst:string -> float

@@ -39,6 +39,7 @@ type comp_result = {
   cr_rr : float array;
   cr_load : float array; (* per resource, in c_res order *)
   cr_flows : int array; (* active flow count per resource, c_res order *)
+  cr_stats : Fairshare.stats; (* solver work this compute did (zeros when cold) *)
 }
 
 (* Warm-start memo: one fully-computed component result, keyed by the
@@ -115,6 +116,7 @@ type t = {
   mutable cache_gen : int; (* bumped when the cache config changes *)
   mutable warm_hits : int;
   mutable warm_misses : int;
+  mutable solver_stats : Fairshare.stats; (* cumulative, over component computes *)
   mutable sketches : sketch_plane option; (* latency plane, off by default *)
 }
 
@@ -297,6 +299,7 @@ let create ?(seed = 42) ?domains ?warm sim topo =
       cache_gen = 0;
       warm_hits = 0;
       warm_misses = 0;
+      solver_stats = { Fairshare.solves = 0; full_rebuilds = 0; incremental = 0; unchanged = 0 };
       sketches = None;
     }
   in
@@ -650,6 +653,10 @@ let compute_component t (c : component) =
     cr_rr = rr;
     cr_load = Array.map (fun res -> loadb.(res)) c.c_res;
     cr_flows = Array.map (fun res -> flowsb.(res)) c.c_res;
+    cr_stats =
+      (match !st with
+      | Some s -> Fairshare.stats s
+      | None -> { Fairshare.solves = 0; full_rebuilds = 0; incremental = 0; unchanged = 0 });
   }
 
 (* Commit one component's result into the fabric. Always runs on the
@@ -938,7 +945,17 @@ and reallocate_now t seeds =
     | _ -> Array.init nm (fun k -> compute_component t comps.(miss.(k)))
   in
   for k = 0 to nm - 1 do
-    results.(miss.(k)) <- Some computed.(k)
+    results.(miss.(k)) <- Some computed.(k);
+    (* cumulative solver-work ledger; memo hits replay a result without
+       solving, so only fresh computes contribute *)
+    let s = computed.(k).cr_stats and acc = t.solver_stats in
+    t.solver_stats <-
+      {
+        Fairshare.solves = acc.Fairshare.solves + s.Fairshare.solves;
+        full_rebuilds = acc.Fairshare.full_rebuilds + s.Fairshare.full_rebuilds;
+        incremental = acc.Fairshare.incremental + s.Fairshare.incremental;
+        unchanged = acc.Fairshare.unchanged + s.Fairshare.unchanged;
+      }
   done;
   let tnow = Sim.now t.sim in
   for i = 0 to n - 1 do
@@ -1317,3 +1334,59 @@ let reallocations t = t.allocs
 let warm_enabled t = t.warm
 let warm_hits t = t.warm_hits
 let warm_misses t = t.warm_misses
+
+(* {2 Out-of-band scan exposition}
+
+   The boundary-scan view of the fabric: every accessor below is a pure
+   read of committed state. None of them syncs the lazy byte
+   integration, emits an event, draws from the RNG, touches heap
+   generations or perturbs the warm solver — the zero-impact contract
+   the scanport-idle bench asserts. Mutable arrays are copied so a
+   caller can hold a snapshot across further simulation. *)
+
+let scan_epoch t = t.epoch
+let scan_clock t = Sim.now t.sim
+let scan_last_update t = t.last_update
+let scan_next_flow_id t = t.next_flow_id
+let scan_rng_state t = U.Rng.peek t.rng
+let scan_cache_gen t = t.cache_gen
+let scan_resources t = t.nr
+let scan_load t = Array.copy t.load
+let scan_flows_on t = Array.copy t.flows_on
+let scan_link_bytes t = Array.copy t.link_bytes
+let scan_caps t = Array.copy t.caps
+
+let scan_ddio t =
+  (Array.copy t.ddio_write, Array.copy t.ddio_hit, Array.copy t.spill_wb, Array.copy t.spill_rr)
+
+let scan_tenant_rows t =
+  Hashtbl.fold (fun tn row acc -> (tn, Array.copy row) :: acc) t.tenant_rows []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+
+let scan_cls_rows t = Array.map Array.copy t.cls_rows
+let scan_flows t = active_flows t
+
+let scan_completion_heap t =
+  List.map
+    (fun (at, (e, stamp)) ->
+      (at, e.flow.Flow.id, stamp, stamp = e.hstamp && e.flow.Flow.state = Flow.Running))
+    (U.Heap.to_list t.cheap)
+
+let scan_memo_keys t =
+  Hashtbl.fold
+    (fun key ms acc ->
+      List.fold_left (fun acc m -> (key, Array.length m.m_dems, m.m_epoch) :: acc) acc ms)
+    t.comp_cache []
+  |> List.sort compare
+
+let scan_solver_stats t = t.solver_stats
+
+(* Advance the simulation by whole reallocation epochs: execute queued
+   events one at a time until the epoch counter moves past where it
+   was, then stop — the single-step half of the scan port's
+   freeze/step protocol. Between calls the fabric is exactly at an
+   epoch boundary (nothing runs unless the sim is driven). *)
+let step_epoch t =
+  let start = t.epoch in
+  let rec go () = t.epoch > start || (Sim.step t.sim && go ()) in
+  go ()

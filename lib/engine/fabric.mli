@@ -302,3 +302,87 @@ val warm_misses : t -> int
 (** Components that had to be computed. Both counters stay 0 when
     warm-starting is disabled. Tests use hits/misses to assert that
     fault, limit and config changes actually invalidate the memo. *)
+
+(** {1 Out-of-band scan exposition}
+
+    The boundary-scan (JTAG-style) view of the fabric, consumed by
+    {!Ihnet_record.Scanport}. Every [scan_*] accessor is a {e pure
+    read} of committed state: unlike the telemetry accessors above
+    ({!link_bytes} &c., which run the lazy byte integration and may
+    emit [Synced]), a scan never advances [last_update], never emits an
+    event, never draws from the RNG, never bumps completion-heap
+    generations and never touches the warm solver — so a run scanned at
+    every epoch stays bit-identical to a bare run. Mutable arrays are
+    returned as copies. *)
+
+val scan_epoch : t -> int
+(** Current reallocation epoch (what {!event.Reallocated} carries). *)
+
+val scan_clock : t -> Ihnet_util.Units.ns
+(** Simulated now — same value as {!now}, listed here for the scan
+    chain's completeness. *)
+
+val scan_last_update : t -> Ihnet_util.Units.ns
+(** Time up to which the lazy byte integration has run; byte counters
+    below are exact as of this instant. *)
+
+val scan_next_flow_id : t -> int
+val scan_rng_state : t -> int64
+(** Raw SplitMix64 state, read without advancing the stream. *)
+
+val scan_cache_gen : t -> int
+(** Cache-config generation (bumped by {!set_config}). *)
+
+val scan_resources : t -> int
+(** Real (link, dir) resource count — the width of the arrays below.
+    Resource [r] is link [r/2], forward when [r] is even. *)
+
+val scan_load : t -> float array
+(** Per-resource allocated rate (B/s), as committed by the last
+    reallocation. *)
+
+val scan_flows_on : t -> int array
+(** Per-resource active flow count. *)
+
+val scan_link_bytes : t -> float array
+(** Per-resource cumulative bytes as of {!scan_last_update} — the raw
+    counters behind {!link_bytes}, without the sync that accessor
+    performs. *)
+
+val scan_caps : t -> float array
+(** Cached effective capacities (fault-adjusted). *)
+
+val scan_ddio : t -> float array * float array * float array * float array
+(** Per-socket [(write, hit, spill_wb, spill_rr)] DDIO state. *)
+
+val scan_tenant_rows : t -> (int * float array) list
+(** Per-tenant per-resource cumulative bytes, tenant id ascending
+    (tenant 0 is the induced-traffic row). *)
+
+val scan_cls_rows : t -> float array array
+(** Per-class per-resource cumulative bytes, class index order
+    (payload, monitoring, heartbeat, probe, induced). *)
+
+val scan_flows : t -> Flow.t list
+(** Active flows, id ascending — {!active_flows} is already pure. *)
+
+val scan_completion_heap : t -> (Ihnet_util.Units.ns * int * int * bool) list
+(** Completion-heap contents in pop order:
+    [(due_at, flow_id, stamp, live)]. Lazily-deleted entries (stale
+    stamp or stopped flow) appear with [live = false] — the scan sees
+    the heap exactly as stored, stale residue included. *)
+
+val scan_memo_keys : t -> (int * int * int) list
+(** Warm-start memo occupancy: [(bucket_key, entries, last_hit_epoch)]
+    per memo, sorted. Empty when warm-starting is off — a
+    microarchitectural register, legitimately different warm vs cold. *)
+
+val scan_solver_stats : t -> Fairshare.stats
+(** Cumulative warm-solver work across all component computes (zeros
+    when cold — also microarchitectural). *)
+
+val step_epoch : t -> bool
+(** Single-step the simulation by one reallocation epoch: execute
+    queued events until the epoch counter advances, then stop at that
+    boundary. [false] when the event queue drained without another
+    reallocation. The scan port's freeze/step hook. *)

@@ -144,6 +144,15 @@ val tick : t -> unit
 
 val cases : t -> case list
 val case_for : t -> Ihnet_topology.Link.id -> case option
+
+val status_label : status -> string
+(** Stable lowercase name of a {!status} — the scan port serializes
+    {!case}s with these, so they are part of the snapshot format, not
+    just display strings. *)
+
+val stage_label : stage -> string
+(** Stable lowercase name of a {!stage} (same contract). *)
+
 val actions : t -> action list
 (** Chronological action log. *)
 

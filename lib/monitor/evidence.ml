@@ -126,3 +126,13 @@ let suspects t =
 
 let report_count t =
   Hashtbl.fold (fun link _ acc -> acc + List.length (live t link)) t.reports 0
+
+(* Raw window contents for the scan port. Unlike [suspects]/[verdict]
+   this neither filters nor prunes expired reports — a pure read, so a
+   scan leaves the window's internal state untouched. *)
+let scan_reports t =
+  Hashtbl.fold
+    (fun link entries acc ->
+      List.fold_left (fun acc (m, score, at) -> (link, m, score, at) :: acc) acc entries)
+    t.reports []
+  |> List.sort compare

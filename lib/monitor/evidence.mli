@@ -77,3 +77,11 @@ val suspects : t -> (Ihnet_topology.Link.id * float) list
 
 val report_count : t -> int
 (** Live reports across all links (diagnostics). *)
+
+val scan_reports :
+  t -> (Ihnet_topology.Link.id * modality * float * Ihnet_util.Units.ns) list
+(** Raw evidence-window contents for the scan port:
+    [(link, modality, score, reported_at)] sorted by link then
+    modality. A {e pure read} — expired reports are neither filtered
+    nor pruned (unlike {!suspects}, which compacts the window as it
+    reads), so scanning never mutates the evidence state. *)

@@ -2,7 +2,15 @@ module E = Ihnet_engine
 module M = Ihnet_manager
 module T = Ihnet_topology
 
-type divergence = { at : float; epoch : int; kind : string; detail : string }
+type divergence = {
+  at : float;
+  epoch : int;
+  kind : string;
+  detail : string;
+  register : string option;
+      (* first divergent scan register (path + values), when a scan
+         reference was available for the divergent digest epoch *)
+}
 
 type report = {
   ops : int;
@@ -99,11 +107,28 @@ type st = {
   mutable divergences : int;
   mutable first_divergence : divergence option;
   mutable invariant_failures : string list; (* reversed *)
+  reference : (int * Scanport.snapshot) list; (* digest epoch -> clean-run scan (-1 = final) *)
+  on_digest : (int -> E.Fabric.t -> unit) option; (* post-check hook (reference collection) *)
 }
 
-let diverge st ~at ~epoch kind detail =
+let diverge ?register st ~at ~epoch kind detail =
   st.divergences <- st.divergences + 1;
-  if st.first_divergence = None then st.first_divergence <- Some { at; epoch; kind; detail }
+  if st.first_divergence = None then
+    st.first_divergence <- Some { at; epoch; kind; detail; register }
+
+(* Escalate a digest mismatch from "first bad epoch" to "first bad
+   register": scan the divergent fabric out of band and diff it against
+   the clean-run snapshot captured at the same digest point. Runs after
+   Recorder.digest has synced byte counters at both capture sites, so
+   the two scans align on last_update. *)
+let drill_down st key =
+  match List.assoc_opt key st.reference with
+  | None -> None
+  | Some ref_snap -> (
+    let own = Scanport.capture st.fab in
+    match Scanport.diff ref_snap own with
+    | Some m -> Some (Format.asprintf "%a" Scanport.pp_mismatch m)
+    | None -> None)
 
 let hex = Printf.sprintf "0x%016Lx"
 
@@ -121,7 +146,7 @@ let check_digest st epoch =
           match Hashtbl.find_opt st.rev f.E.Flow.id with Some id -> id | None -> -1 - f.E.Flow.id)
         ~at ~epoch st.fab
     in
-    let mismatch kind detail = diverge st ~at ~epoch kind detail in
+    let mismatch kind detail = diverge ?register:(drill_down st epoch) st ~at ~epoch kind detail in
     if exp.Trace.d_epoch <> got.Trace.d_epoch then
       mismatch "epoch" (Printf.sprintf "recorded epoch %d, replayed %d" exp.Trace.d_epoch epoch)
     else if exp.Trace.d_at <> got.Trace.d_at then
@@ -137,6 +162,7 @@ let check_digest st epoch =
     else if exp.Trace.d_bytes <> got.Trace.d_bytes then
       mismatch "bytes"
         (Printf.sprintf "byte counter hash %s vs %s" (hex exp.Trace.d_bytes) (hex got.Trace.d_bytes)));
+  (match st.on_digest with Some f -> f epoch st.fab | None -> ());
   if List.length st.invariant_failures < 32 then
     st.invariant_failures <-
       List.rev_append
@@ -248,7 +274,7 @@ let apply st (op : Trace.op) =
 
 (* {1 The engine} *)
 
-let run ?setup ?perturb ?domains (trace : Trace.t) =
+let run_gen ?setup ?perturb ?domains ?(reference = []) ?on_digest (trace : Trace.t) =
   match topology_of_preset trace.Trace.header.Trace.preset trace.Trace.header.Trace.host_config with
   | Error e -> Error e
   | Ok topo ->
@@ -272,6 +298,8 @@ let run ?setup ?perturb ?domains (trace : Trace.t) =
         divergences = 0;
         first_divergence = None;
         invariant_failures = [];
+        reference;
+        on_digest;
       }
     in
     (match setup with Some f -> f sim fab | None -> ());
@@ -350,11 +378,12 @@ let run ?setup ?perturb ?domains (trace : Trace.t) =
       in
       st.digests_checked <- st.digests_checked + 1;
       if got <> d then
-        diverge st ~at:(E.Sim.now sim) ~epoch:st.epoch "final"
+        diverge ?register:(drill_down st (-1)) st ~at:(E.Sim.now sim) ~epoch:st.epoch "final"
           (Printf.sprintf
              "final digest mismatch (epoch %d vs %d, flows %d vs %d, alloc %s vs %s)"
              d.Trace.d_epoch got.Trace.d_epoch d.Trace.d_flows got.Trace.d_flows
-             (hex d.Trace.d_alloc) (hex got.Trace.d_alloc))
+             (hex d.Trace.d_alloc) (hex got.Trace.d_alloc));
+      (match st.on_digest with Some f -> f (-1) st.fab | None -> ())
     | None -> E.Sim.run sim);
     (* anything recorded but never reached is a divergence too *)
     (match Queue.take_opt st.digests with
@@ -381,8 +410,26 @@ let run ?setup ?perturb ?domains (trace : Trace.t) =
         final_at = (if final_at = infinity then E.Sim.now sim else final_at);
       }
 
-let replay_file ?setup ?perturb ?domains path =
-  match Trace.load path with Error e -> Error e | Ok trace -> run ?setup ?perturb ?domains trace
+let run ?setup ?perturb ?domains ?reference trace =
+  run_gen ?setup ?perturb ?domains ?reference trace
+
+(* Replay the trace cleanly (no perturbation) and scan the fabric out
+   of band at every digest point — the reference chain a perturbed
+   replay diffs against. Scans are pure reads, so collecting them
+   leaves the replay's own digest checks untouched. *)
+let scan_reference ?domains (trace : Trace.t) =
+  let acc = ref [] in
+  match
+    run_gen ?domains ~on_digest:(fun epoch fab -> acc := (epoch, Scanport.capture fab) :: !acc)
+      trace
+  with
+  | Error e -> Error e
+  | Ok _ -> Ok (List.rev !acc)
+
+let replay_file ?setup ?perturb ?domains ?reference path =
+  match Trace.load path with
+  | Error e -> Error e
+  | Ok trace -> run ?setup ?perturb ?domains ?reference trace
 
 let ok (r : report) = r.divergences = 0 && r.invariant_failures = []
 
@@ -393,7 +440,10 @@ let pp_report ppf (r : report) =
   | None -> Format.fprintf ppf "no divergence@."
   | Some d ->
     Format.fprintf ppf "%d divergence(s); first at t=%.0f ns, epoch %d [%s]: %s@." r.divergences
-      d.at d.epoch d.kind d.detail);
+      d.at d.epoch d.kind d.detail;
+    (match d.register with
+    | Some reg -> Format.fprintf ppf "first divergent register: %s@." reg
+    | None -> ()));
   match r.invariant_failures with
   | [] -> Format.fprintf ppf "all invariants hold@."
   | fs ->

@@ -21,7 +21,18 @@
     the command reads the completing flow; in practice the campaign and
     soak workloads never hit this. *)
 
-type divergence = { at : float; epoch : int; kind : string; detail : string }
+type divergence = {
+  at : float;
+  epoch : int;
+  kind : string;
+  detail : string;
+  register : string option;
+      (** First divergent scan register (path and both values), filled
+          when a digest mismatch could be drilled down against a scan
+          reference (see {!scan_reference} and [run]'s [reference]).
+          [None] for non-digest divergences or when no reference
+          snapshot covers the divergent epoch. *)
+}
 
 type report = {
   ops : int;  (** Commands applied. *)
@@ -37,6 +48,7 @@ val run :
   ?setup:(Ihnet_engine.Sim.t -> Ihnet_engine.Fabric.t -> unit) ->
   ?perturb:float * (Ihnet_engine.Fabric.t -> Ihnet_engine.Flow.t list -> unit) ->
   ?domains:int ->
+  ?reference:(int * Scanport.snapshot) list ->
   Trace.t ->
   (report, string) result
 (** Replay a parsed trace. [setup] runs on the fresh host before any
@@ -46,15 +58,28 @@ val run :
     divergence detection actually fires. [domains] sizes the replay
     fabric's reallocation pool ({!Ihnet_engine.Fabric.create}); by the
     determinism contract the report must be identical for every width,
-    which is exactly what the conformance CI checks. [Error] means the
-    trace could not be replayed at all (unknown preset, malformed
-    header); divergences during a well-formed replay land in the
-    report. *)
+    which is exactly what the conformance CI checks. [reference] is a
+    clean-run scan chain from {!scan_reference}: when a digest
+    mismatch occurs at an epoch the reference covers, the replay scans
+    its own fabric out of band, diffs the two snapshots, and fills
+    {!divergence.register} — escalating the report from "first bad
+    epoch" to "first bad register path". [Error] means the trace could
+    not be replayed at all (unknown preset, malformed header);
+    divergences during a well-formed replay land in the report. *)
+
+val scan_reference :
+  ?domains:int -> Trace.t -> ((int * Scanport.snapshot) list, string) result
+(** Replay the trace cleanly and capture a {!Scanport} snapshot at
+    every digest point, keyed by digest epoch (the final digest under
+    key [-1]) — the reference chain [run]'s [reference] diffs against.
+    Scans are pure reads, so the collecting replay is bit-identical to
+    a bare one. *)
 
 val replay_file :
   ?setup:(Ihnet_engine.Sim.t -> Ihnet_engine.Fabric.t -> unit) ->
   ?perturb:float * (Ihnet_engine.Fabric.t -> Ihnet_engine.Flow.t list -> unit) ->
   ?domains:int ->
+  ?reference:(int * Scanport.snapshot) list ->
   string ->
   (report, string) result
 

@@ -15,6 +15,7 @@ let bits64 t =
 
 let split t = { state = bits64 t }
 let copy t = { state = t.state }
+let peek t = t.state
 
 let int t n =
   assert (n > 0);

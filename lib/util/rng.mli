@@ -20,6 +20,11 @@ val split : t -> t
 val copy : t -> t
 (** Duplicate the current state (the copies then evolve separately). *)
 
+val peek : t -> int64
+(** Current internal state, read without advancing the stream — the
+    scan port's view of the generator. Two generators with equal
+    [peek] values produce identical future streams. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

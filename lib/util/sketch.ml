@@ -115,6 +115,13 @@ let merge dst src =
 
 let copy t = { t with counts = Array.copy t.counts }
 
+let fold_buckets t ~init f =
+  let acc = ref init in
+  for idx = 0 to Array.length t.counts - 1 do
+    acc := f !acc t.counts.(idx)
+  done;
+  !acc
+
 let clear t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   t.n <- 0;

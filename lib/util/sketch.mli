@@ -59,6 +59,11 @@ val merge : t -> t -> unit
 val copy : t -> t
 val clear : t -> unit
 
+val fold_buckets : t -> init:'a -> ('a -> int -> 'a) -> 'a
+(** Fold over the raw bucket counts in index order, without exposing
+    (or copying) the backing array — enough to hash the full bucket
+    state into a scan digest. *)
+
 type snapshot = {
   s_count : int;
   s_mean : float;

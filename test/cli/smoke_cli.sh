@@ -1,0 +1,95 @@
+#!/bin/sh
+# Cram-style smoke tests for the ihnetctl CLI: pin exit codes and
+# first-line output shapes so flag renames and format drift fail
+# loudly in CI instead of silently breaking operator scripts.
+set -u
+CTL="$1"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+fails=0
+
+# expect NAME WANT_EXIT FIRST_LINE_REGEX CMD...: run CMD, check the
+# exit code and match the first line of combined output.
+expect() {
+  name="$1" want="$2" regex="$3"
+  shift 3
+  out=$("$@" 2>&1)
+  got=$?
+  first=$(printf '%s\n' "$out" | head -n 1)
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL $name: exit $got, wanted $want (first line: $first)"
+    fails=$((fails + 1))
+  elif ! printf '%s\n' "$first" | grep -Eq "$regex"; then
+    echo "FAIL $name: first line '$first' does not match /$regex/"
+    fails=$((fails + 1))
+  else
+    echo "ok   $name"
+  fi
+}
+
+# expect_any NAME WANT_EXIT REGEX CMD...: like expect, but the regex
+# may match any line (for shapes that follow a header).
+expect_any() {
+  name="$1" want="$2" regex="$3"
+  shift 3
+  out=$("$@" 2>&1)
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL $name: exit $got, wanted $want"
+    fails=$((fails + 1))
+  elif ! printf '%s\n' "$out" | grep -Eq "$regex"; then
+    echo "FAIL $name: no line matches /$regex/"
+    fails=$((fails + 1))
+  else
+    echo "ok   $name"
+  fi
+}
+
+expect scan-summary 0 \
+  '^scan: epoch [0-9]+, [0-9]+ registers, digest 0x[0-9a-f]{16}$' \
+  "$CTL" scan --load --ms 2 -o "$tmp/a.scan.json"
+expect scan-diff-same 0 \
+  '^scan diff: identical \([0-9]+ registers compared\)$' \
+  "$CTL" scan --diff "$tmp/a.scan.json" "$tmp/a.scan.json"
+"$CTL" scan --load --ms 3 -o "$tmp/b.scan.json" >/dev/null 2>&1
+expect scan-diff-differ 1 \
+  '^scan diff: [^ ]+: .+ vs .+ \([0-9]+ register\(s\) differ\)$' \
+  "$CTL" scan --diff "$tmp/a.scan.json" "$tmp/b.scan.json"
+expect scan-diff-missing-args 1 \
+  '^ihnetctl: scan --diff needs two snapshot files' \
+  "$CTL" scan --diff
+expect scan-step 0 \
+  '^scan: epoch [0-9]+, [0-9]+ registers, digest 0x[0-9a-f]{16}$' \
+  "$CTL" scan --load --ms 1 --step 2
+expect_any scan-step-lines 0 \
+  '^step 1: epoch [0-9]+, digest 0x[0-9a-f]{16}$' \
+  "$CTL" scan --load --ms 1 --step 2
+expect latency 0 \
+  '^flow end-to-end latency: ' \
+  "$CTL" latency --load --ms 2
+"$CTL" record -s e5 -o "$tmp/e5.trace.jsonl" >/dev/null 2>&1
+expect faults 0 \
+  '^trace .*: [0-9]+ link fault\(s\), [0-9]+ sensor fault\(s\) active at end$' \
+  "$CTL" faults "$tmp/e5.trace.jsonl"
+
+cat >"$tmp/base.json" <<'EOF'
+{ "subjects": { "probe": 100.0 } }
+EOF
+cat >"$tmp/within.json" <<'EOF'
+{ "subjects": { "probe": 95.0 } }
+EOF
+cat >"$tmp/slow.json" <<'EOF'
+{ "subjects": { "probe": 10.0 } }
+EOF
+expect bench-compare-ok 0 \
+  '^subject +baseline +current +delta$' \
+  "$CTL" bench "$tmp/within.json" --compare "$tmp/base.json" --tolerance 30
+expect_any bench-compare-regression 1 \
+  'regressed more than 30% below' \
+  "$CTL" bench "$tmp/slow.json" --compare "$tmp/base.json" --tolerance 30
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails CLI smoke(s) failed"
+  exit 1
+fi
+echo "all CLI smokes passed"

@@ -207,8 +207,8 @@ let record_mixed ?(digest_every = 2) () =
   Rec.Recorder.stop r;
   parse_buf buf
 
-let replay_exn ?setup ?perturb trace =
-  match Rec.Replay.run ?setup ?perturb trace with
+let replay_exn ?setup ?perturb ?reference trace =
+  match Rec.Replay.run ?setup ?perturb ?reference trace with
   | Ok r -> r
   | Error e -> Alcotest.fail ("replay refused the trace: " ^ e)
 
@@ -248,6 +248,53 @@ let replay_tests =
           Alcotest.(check bool)
             "divergence not before the perturbation" true
             (d.Rec.Replay.at >= pt)));
+    tc "drill-down names the first divergent scan register" (fun () ->
+        let trace = record_mixed ~digest_every:1 () in
+        let pt = U.Units.us 730.0 in
+        let perturb fab = function
+          | f :: _ -> E.Fabric.set_flow_limits fab f ~weight:(f.E.Flow.weight *. 4.0) ()
+          | [] -> Alcotest.fail "no running flows at the perturbation point"
+        in
+        let reference =
+          match Rec.Replay.scan_reference trace with
+          | Ok r -> r
+          | Error e -> Alcotest.fail ("scan_reference refused the trace: " ^ e)
+        in
+        Alcotest.(check bool) "reference chain non-empty" true (reference <> []);
+        let r = replay_exn ~perturb:(pt, perturb) ~reference trace in
+        Alcotest.(check bool) "perturbation detected" false (Rec.Replay.ok r);
+        match r.Rec.Replay.first_divergence with
+        | None -> Alcotest.fail "report not ok but no first divergence"
+        | Some d -> (
+          match d.Rec.Replay.register with
+          | None -> Alcotest.fail "digest divergence carried no register drill-down"
+          | Some reg ->
+            (* the report names a register path with both values;
+               quadrupling a weight must surface in the rate plane or
+               its downstream byte counters, all slash paths *)
+            Alcotest.(check bool)
+              "names a register path"
+              true
+              (String.contains reg '/');
+            let rendered = Format.asprintf "%a" Rec.Replay.pp_report r in
+            let contains s sub =
+              let n = String.length s and m = String.length sub in
+              let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+              go 0
+            in
+            Alcotest.(check bool)
+              "report prints the drill-down" true
+              (contains rendered "first divergent register")));
+    tc "clean replay against its own scan reference stays clean" (fun () ->
+        let trace = record_mixed ~digest_every:2 () in
+        let reference =
+          match Rec.Replay.scan_reference trace with
+          | Ok r -> r
+          | Error e -> Alcotest.fail ("scan_reference refused the trace: " ^ e)
+        in
+        let r = replay_exn ~reference trace in
+        if not (Rec.Replay.ok r) then
+          Alcotest.fail (Format.asprintf "%a" Rec.Replay.pp_report r));
     tc "unperturbed digests before the perturbation point all match" (fun () ->
         let trace = record_mixed ~digest_every:1 () in
         let pt = U.Units.us 730.0 in

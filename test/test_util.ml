@@ -332,6 +332,30 @@ let ring_tests =
         List.iter (Ring_buffer.push r) xs;
         Ring_buffer.length r <= cap
         && Ring_buffer.length r = min cap (List.length xs));
+    prop "to_list is the newest-cap suffix of the pushes"
+      QCheck.(pair (int_range 1 16) (list small_int))
+      (fun (cap, xs) ->
+        let r = Ring_buffer.create cap in
+        List.iter (Ring_buffer.push r) xs;
+        let n = List.length xs in
+        let expect = List.filteri (fun i _ -> i >= n - cap) xs in
+        Ring_buffer.to_list r = expect
+        && Ring_buffer.dropped r = max 0 (n - cap)
+        && Ring_buffer.oldest r = (match expect with [] -> None | x :: _ -> Some x)
+        && Ring_buffer.newest r
+           = (match List.rev expect with [] -> None | x :: _ -> Some x));
+    prop "get, iter and fold agree with to_list"
+      QCheck.(pair (int_range 1 16) (list small_int))
+      (fun (cap, xs) ->
+        let r = Ring_buffer.create cap in
+        List.iter (Ring_buffer.push r) xs;
+        let window = Ring_buffer.to_list r in
+        let via_get = List.init (Ring_buffer.length r) (Ring_buffer.get r) in
+        let via_iter = ref [] in
+        Ring_buffer.iter (fun x -> via_iter := x :: !via_iter) r;
+        via_get = window
+        && List.rev !via_iter = window
+        && Ring_buffer.fold (fun acc x -> x :: acc) [] r = !via_iter);
   ]
 
 (* {1 Table} *)
@@ -369,6 +393,108 @@ let table_tests =
         Alcotest.(check string) "header" "a,b" (List.hd lines);
         Alcotest.(check string) "comma quoted" "plain,\"has,comma\"" (List.nth lines 1);
         Alcotest.(check string) "quote doubled" "\"has\"\"quote\",x" (List.nth lines 2));
+    tc "add_rowf splits on pipes" (fun () ->
+        let t = Table.create ~title:"t" ~columns:[ "a"; "b"; "c" ] in
+        Table.add_rowf t "%d|%s|%.1f" 1 "two" 3.0;
+        let lines = String.split_on_char '\n' (String.trim (Table.to_csv t)) in
+        Alcotest.(check string) "row" "1,two,3.0" (List.nth lines 1));
+    tc "title accessor" (fun () ->
+        let t = Table.create ~title:"demo" ~columns:[ "a" ] in
+        Alcotest.(check string) "title" "demo" (Table.title t));
+    prop "csv has one line per row plus a header"
+      QCheck.(list_of_size Gen.(int_range 0 20) (pair small_nat small_nat))
+      (fun rows ->
+        let t = Table.create ~title:"p" ~columns:[ "x"; "y" ] in
+        List.iter (fun (x, y) -> Table.add_row t [ string_of_int x; string_of_int y ]) rows;
+        let lines = String.split_on_char '\n' (String.trim (Table.to_csv t)) in
+        List.length lines = 1 + List.length rows);
+    prop "render contains every cell" QCheck.(list_of_size Gen.(int_range 1 10) small_nat)
+      (fun xs ->
+        let t = Table.create ~title:"p" ~columns:[ "v" ] in
+        List.iter (fun x -> Table.add_row t [ string_of_int x ]) xs;
+        let s = Table.render t in
+        let contains sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        List.for_all (fun x -> contains (string_of_int x)) xs);
+  ]
+
+(* {1 Vec} *)
+
+let vec_tests =
+  [
+    tc "fresh vec is empty" (fun () ->
+        let v : int Vec.t = Vec.create () in
+        Alcotest.(check int) "len" 0 (Vec.length v);
+        Alcotest.(check bool) "empty" true (Vec.is_empty v));
+    tc "push then get in order" (fun () ->
+        let v = Vec.create () in
+        List.iter (Vec.push v) [ 10; 20; 30 ];
+        Alcotest.(check int) "len" 3 (Vec.length v);
+        Alcotest.(check bool) "not empty" false (Vec.is_empty v);
+        Alcotest.(check int) "get 0" 10 (Vec.get v 0);
+        Alcotest.(check int) "get 2" 30 (Vec.get v 2));
+    tc "get out of bounds raises" (fun () ->
+        let v = Vec.create () in
+        Vec.push v 1;
+        let raises i =
+          try
+            ignore (Vec.get v i);
+            false
+          with Invalid_argument _ -> true
+        in
+        Alcotest.(check bool) "past end" true (raises 1);
+        Alcotest.(check bool) "negative" true (raises (-1)));
+    tc "clear resets length but the vec stays usable" (fun () ->
+        let v = Vec.create () in
+        for i = 1 to 100 do
+          Vec.push v i
+        done;
+        Vec.clear v;
+        Alcotest.(check int) "len" 0 (Vec.length v);
+        Alcotest.(check bool) "empty" true (Vec.is_empty v);
+        Vec.push v 7;
+        Alcotest.(check int) "len" 1 (Vec.length v);
+        Alcotest.(check int) "get" 7 (Vec.get v 0));
+    tc "iteri sees indices in order" (fun () ->
+        let v = Vec.create () in
+        List.iter (Vec.push v) [ "a"; "b"; "c" ];
+        let seen = ref [] in
+        Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
+        Alcotest.(check (list (pair int string)))
+          "order"
+          [ (0, "a"); (1, "b"); (2, "c") ]
+          (List.rev !seen));
+    tc "exists" (fun () ->
+        let v = Vec.create () in
+        List.iter (Vec.push v) [ 1; 3; 5 ];
+        Alcotest.(check bool) "yes" true (Vec.exists (fun x -> x = 3) v);
+        Alcotest.(check bool) "no" false (Vec.exists (fun x -> x = 4) v));
+    tc "to_array is a fresh copy" (fun () ->
+        let v = Vec.create () in
+        Vec.push v 1;
+        let a = Vec.to_array v in
+        a.(0) <- 99;
+        Alcotest.(check int) "unaffected" 1 (Vec.get v 0));
+    prop "to_array agrees with the pushed list" QCheck.(list small_int) (fun xs ->
+        let v = Vec.create () in
+        List.iter (Vec.push v) xs;
+        Array.to_list (Vec.to_array v) = xs && Vec.length v = List.length xs);
+    prop "push after clear equals fresh" QCheck.(pair (list small_int) (list small_int))
+      (fun (xs, ys) ->
+        let v = Vec.create () in
+        List.iter (Vec.push v) xs;
+        Vec.clear v;
+        List.iter (Vec.push v) ys;
+        Array.to_list (Vec.to_array v) = ys);
+    prop "iter and fold_left match the list functions" QCheck.(list small_int) (fun xs ->
+        let v = Vec.create () in
+        List.iter (Vec.push v) xs;
+        let seen = ref [] in
+        Vec.iter (fun x -> seen := x :: !seen) v;
+        List.rev !seen = xs && Vec.fold_left ( + ) 0 v = List.fold_left ( + ) 0 xs);
   ]
 
 let suites =
@@ -380,4 +506,5 @@ let suites =
     ("util.heap", heap_tests);
     ("util.ring_buffer", ring_tests);
     ("util.table", table_tests);
+    ("util.vec", vec_tests);
   ]
