@@ -31,6 +31,7 @@ module T = Ihnet_topology
 module M = Ihnet_manager
 module Mon = Ihnet_monitor
 module Rec = Ihnet_record
+module F = Ihnet_fleet
 
 let usage () =
   prerr_endline "usage: fabric_bench [--smoke] [-o FILE] [--subject NAME]...";
@@ -480,6 +481,100 @@ let bench_scanport_idle () =
       t := !t +. 1e6;
       E.Sim.run ~until:!t sim)
 
+(* {1 fleet-idle: a dormant fleet controller is invisible}
+
+   Same discipline as recorder-idle and scanport-idle, one layer up:
+   enrolling a live host in a fleet controller with no tenants and no
+   channel faults must leave the host's run byte-identical to an
+   unmanaged one. The proof is mechanical — equal Scanport digests
+   after the same simulated time, an empty decision log, and channel
+   RNG state untouched (Chanfault's RNG-only-under-fault discipline).
+   The reported rate is controller rounds/sec over the wrapped host. *)
+
+let bench_fleet_idle () =
+  let build () =
+    let host = Ihnet.Host.create ~seed:11 ~domains:1 Ihnet.Host.Minimal in
+    let fab = Ihnet.Host.fabric host in
+    let topo = Ihnet.Host.topology host in
+    let dev name =
+      match T.Topology.device_by_name topo name with
+      | Some d -> d.T.Device.id
+      | None -> failwith ("fabric_bench: no device " ^ name)
+    in
+    let path =
+      match T.Routing.shortest_path topo (dev "nic0") (dev "socket0") with
+      | Some p -> p
+      | None -> failwith "fabric_bench: no nic0->socket0 path"
+    in
+    ignore (E.Fabric.start_flow fab ~tenant:1 ~path ~size:E.Flow.Unbounded ());
+    host
+  in
+  let rounds = 50 and round_len = U.Units.us 100.0 in
+  let bare = build () in
+  for _ = 1 to rounds do
+    Ihnet.Host.run_for bare round_len
+  done;
+  let wrapped = build () in
+  let cfg = { F.Controller.default_config with F.Controller.round_len = round_len } in
+  let t = F.Controller.create ~config:cfg ~seed:7 () in
+  F.Controller.add_host t ~label:"live0" wrapped;
+  let rng_before = F.Controller.channel_rng_peek t "live0" in
+  F.Controller.run t ~rounds;
+  if
+    (Ihnet.Host.scan wrapped).Rec.Scanport.s_digest
+    <> (Ihnet.Host.scan bare).Rec.Scanport.s_digest
+  then failwith "fleet-idle: dormant controller changed the wrapped host's run";
+  if F.Controller.decisions t <> [] then
+    failwith
+      (Printf.sprintf "fleet-idle: %d decision(s) with no tenants and no faults"
+         (List.length (F.Controller.decisions t)));
+  if F.Controller.channel_rng_peek t "live0" <> rng_before then
+    failwith "fleet-idle: fault-free channel plane drew from its RNG";
+  time_ops (fun () -> F.Controller.run t ~rounds:10)
+
+(* {1 fleet-churn-1k: the control loop at fleet scale}
+
+   1000 minimal hosts, 1000 placed tenants. The measured op is one
+   tenant replacement through the full control plane — revoke the
+   oldest tenant, submit a fresh one, run one controller round (1000
+   host advances + 1000 health reports + the control step that routes
+   the cleanup and the new placement). *)
+
+let bench_fleet_churn () =
+  let n = 1000 in
+  let cfg =
+    { F.Controller.default_config with F.Controller.round_len = U.Units.us 100.0 }
+  in
+  let t = F.Controller.create ~config:cfg ~seed:5 () in
+  for i = 0 to n - 1 do
+    F.Controller.spawn t ~preset:Ihnet.Host.Minimal (Printf.sprintf "host%d" i)
+  done;
+  let submit i =
+    F.Controller.submit t
+      (M.Intent.pipe ~tenant:i ~src:"nic0" ~dst:"socket0" ~rate:(U.Units.gbps 2.0))
+  in
+  for i = 1 to n do
+    submit i
+  done;
+  let placed () =
+    List.for_all
+      (fun id ->
+        match F.Controller.tenant_view t id with Some (F.Controller.Placed _) -> true | _ -> false)
+      (F.Controller.tenants t)
+  in
+  let guard = ref 0 in
+  while (not (placed ())) && !guard < 50 do
+    incr guard;
+    F.Controller.round t
+  done;
+  if not (placed ()) then failwith "fleet-churn-1k: fleet failed to converge during setup";
+  let next = ref (n + 1) in
+  time_ops (fun () ->
+      F.Controller.revoke t ~tenant:(!next - n);
+      submit !next;
+      incr next;
+      F.Controller.round t)
+
 let () =
   let subjects =
     [
@@ -509,6 +604,8 @@ let () =
       ("sketch-idle", bench_sketch_idle);
       ("flow-churn-sketch-4096", fun () -> bench_churn_sketch 4096);
       ("scanport-idle", bench_scanport_idle);
+      ("fleet-idle", bench_fleet_idle);
+      ("fleet-churn-1k", bench_fleet_churn);
     ]
   in
   let subjects =

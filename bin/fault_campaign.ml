@@ -27,6 +27,7 @@ module T = Ihnet_topology
 module U = Ihnet_util
 module R = Ihnet_manager
 module Rec = Ihnet_record
+module F = Ihnet_fleet
 
 let check_floors mgr ~at =
   let arb = R.Manager.arbiter mgr in
@@ -269,16 +270,263 @@ let run_campaign ?trace_buf ?(digest_every = 64) ?(sensor_mode = false) ~seed ~d
     floors = R.Arbiter.installed_floors (R.Manager.arbiter mgr);
   }
 
+(* {1 Fleet campaign (--fleet)}
+
+   A seeded adversary over a whole fleet: random crash/restart,
+   partition/heal, lossy control channels, tenant submit/revoke — one
+   op per controller round. At the end every fault is lifted and the
+   controller quiesces; then three invariants are checked:
+
+   - feasibility: every still-registered tenant is Placed (the fleet
+     has ample capacity once healthy, so a lingering Fleet_degraded or
+     stuck Placing/Migrating is a liveness bug);
+   - no false failover: every host-down migration and every host-lost
+     verdict names a host that really carried a channel or crash fault
+     at some point — a never-faulted host must not lose its tenants;
+   - exactly-once: each placed tenant is backed by exactly one live
+     placement fleet-wide (no double-applies after healed partitions,
+     no strays after reconciliation).
+
+   The whole campaign then runs a second time from the same seed and
+   must reproduce the decision fingerprint and every per-host scan
+   digest bit-for-bit. *)
+
+type fleet_stats = {
+  fl_rounds : int;
+  fl_crashes : int;
+  fl_restarts : int;
+  fl_partitions : int;
+  fl_heals : int;
+  fl_loss_injects : int;
+  fl_loss_clears : int;
+  fl_submits : int;
+  fl_revokes : int;
+  fl_placed : int;
+  fl_decisions : int;
+  fl_fp : int64;
+  fl_digest : int64;
+  fl_host_digests : (string * int64) list;
+  fl_tenant_views : (int * F.Controller.tenant_view) list;
+}
+
+let run_fleet_campaign ~seed ~hosts ~tenants ~rounds () =
+  let cfg =
+    { F.Controller.default_config with F.Controller.round_len = U.Units.us 100.0 }
+  in
+  let t = F.Controller.create ~config:cfg ~seed () in
+  for i = 0 to hosts - 1 do
+    F.Controller.spawn t ~preset:Ihnet.Host.Minimal (Printf.sprintf "host%d" i)
+  done;
+  let labels = Array.of_list (F.Controller.hosts t) in
+  let adv = U.Rng.create (seed * 104729) in
+  (* every host that ever carried a real fault (crash, partition, lossy
+     channel); the false-failover invariant compares migrations against
+     this set *)
+  let ever_faulted : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let partitioned : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let lossy : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let crashes = ref 0 and restarts = ref 0 in
+  let partitions = ref 0 and heals = ref 0 in
+  let loss_injects = ref 0 and loss_clears = ref 0 in
+  let submits = ref 0 and revokes = ref 0 in
+  let next_tenant = ref 0 in
+  let submit () =
+    incr next_tenant;
+    incr submits;
+    F.Controller.submit t
+      (R.Intent.pipe ~tenant:!next_tenant ~src:"nic0" ~dst:"socket0" ~rate:(U.Units.gbps 2.0))
+  in
+  for _ = 1 to tenants do
+    submit ()
+  done;
+  let pick_host () = labels.(U.Rng.int adv (Array.length labels)) in
+  for _ = 1 to rounds do
+    (match U.Rng.int adv 10 with
+    | 0 ->
+      let h = pick_host () in
+      if F.Controller.host_view t h <> Some F.Controller.Crashed then begin
+        incr crashes;
+        Hashtbl.replace ever_faulted h ();
+        F.Controller.crash t h
+      end
+    | 1 ->
+      let h = pick_host () in
+      if F.Controller.host_view t h = Some F.Controller.Crashed then begin
+        incr restarts;
+        F.Controller.restart t h
+      end
+    | 2 ->
+      let h = pick_host () in
+      if F.Controller.host_view t h <> Some F.Controller.Crashed && not (Hashtbl.mem partitioned h)
+      then begin
+        incr partitions;
+        Hashtbl.replace ever_faulted h ();
+        Hashtbl.replace partitioned h ();
+        F.Controller.partition t h
+      end
+    | 3 ->
+      let h = pick_host () in
+      if Hashtbl.mem partitioned h then begin
+        incr heals;
+        Hashtbl.remove partitioned h;
+        F.Controller.heal t h
+      end
+    | 4 ->
+      let h = pick_host () in
+      incr loss_injects;
+      Hashtbl.replace ever_faulted h ();
+      Hashtbl.replace lossy h ();
+      F.Controller.set_chanfault t h
+        (E.Chanfault.lossy ~loss:(U.Rng.uniform adv 0.1 0.4) ~dup_prob:0.1 ())
+    | 5 ->
+      let h = pick_host () in
+      if Hashtbl.mem lossy h then begin
+        incr loss_clears;
+        Hashtbl.remove lossy h;
+        F.Controller.set_chanfault t h E.Chanfault.none
+      end
+    | 6 -> submit ()
+    | 7 ->
+      if !next_tenant > 0 then begin
+        let id = 1 + U.Rng.int adv !next_tenant in
+        if List.mem id (F.Controller.tenants t) then begin
+          incr revokes;
+          F.Controller.revoke t ~tenant:id
+        end
+      end
+    | _ -> ());
+    F.Controller.round t
+  done;
+  (* lift every fault (host index order — determinism), then quiesce:
+     holddowns expire, degraded tenants restore, strays reconcile *)
+  Array.iter
+    (fun h ->
+      if F.Controller.host_view t h = Some F.Controller.Crashed then F.Controller.restart t h;
+      if Hashtbl.mem partitioned h then F.Controller.heal t h;
+      F.Controller.set_chanfault t h E.Chanfault.none)
+    labels;
+  F.Controller.run t ~rounds:80;
+  (* invariant: feasibility — every surviving tenant is Placed *)
+  let views =
+    List.map (fun id -> (id, Option.get (F.Controller.tenant_view t id))) (F.Controller.tenants t)
+  in
+  List.iter
+    (fun (id, v) ->
+      match v with
+      | F.Controller.Placed _ -> ()
+      | F.Controller.Unplaced -> failwith (Printf.sprintf "tenant %d left unplaced after quiesce" id)
+      | F.Controller.Placing h ->
+        failwith (Printf.sprintf "tenant %d stuck placing on %s after quiesce" id h)
+      | F.Controller.Migrating { from_; to_ } ->
+        failwith (Printf.sprintf "tenant %d stuck migrating %s -> %s after quiesce" id from_ to_)
+      | F.Controller.Fleet_degraded ->
+        failwith
+          (Printf.sprintf "tenant %d still fleet-degraded after quiesce (placement is feasible)" id))
+    views;
+  (* invariant: no false failover — host-down migrations and host-lost
+     verdicts only ever name hosts that really carried a fault *)
+  List.iter
+    (fun (d : F.Controller.decision) ->
+      match d with
+      | F.Controller.D_migrated { tenant; from_; reason = F.Controller.Host_down; _ }
+        when not (Hashtbl.mem ever_faulted from_) ->
+        failwith
+          (Printf.sprintf "tenant %d migrated off never-faulted host %s (host-down)" tenant from_)
+      | F.Controller.D_host_lost { host } when not (Hashtbl.mem ever_faulted host) ->
+        failwith (Printf.sprintf "never-faulted host %s declared lost" host)
+      | _ -> ())
+    (F.Controller.decisions t);
+  (* invariant: exactly-once — each placed tenant is backed by exactly
+     one live placement fleet-wide *)
+  let backing : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  Array.iter
+    (fun l ->
+      match F.Controller.host t l with
+      | None -> ()
+      | Some host -> (
+        match Ihnet.Host.manager host with
+        | None -> ()
+        | Some mgr ->
+          List.iter
+            (fun (p : R.Placement.t) ->
+              let tn = p.R.Placement.tenant in
+              Hashtbl.replace backing tn (1 + Option.value ~default:0 (Hashtbl.find_opt backing tn)))
+            (R.Manager.placements mgr)))
+    labels;
+  List.iter
+    (fun (id, v) ->
+      match v with
+      | F.Controller.Placed h ->
+        let n = Option.value ~default:0 (Hashtbl.find_opt backing id) in
+        if n <> 1 then
+          failwith
+            (Printf.sprintf "tenant %d placed on %s is backed by %d live placement(s)" id h n)
+      | _ -> ())
+    views;
+  let digest = F.Controller.digest t in
+  {
+    fl_rounds = F.Controller.rounds t;
+    fl_crashes = !crashes;
+    fl_restarts = !restarts;
+    fl_partitions = !partitions;
+    fl_heals = !heals;
+    fl_loss_injects = !loss_injects;
+    fl_loss_clears = !loss_clears;
+    fl_submits = !submits;
+    fl_revokes = !revokes;
+    fl_placed = List.length views;
+    fl_decisions = List.length (F.Controller.decisions t);
+    fl_fp = F.Controller.decisions_fingerprint t;
+    fl_digest = digest;
+    fl_host_digests = F.Controller.host_digests t;
+    fl_tenant_views = views;
+  }
+
+let fleet_main ~seed ~hosts ~tenants ~rounds () =
+  let guarded label =
+    try run_fleet_campaign ~seed ~hosts ~tenants ~rounds () with
+    | Failure msg ->
+      Printf.eprintf "FLEET CAMPAIGN FAILURE (%s): %s\n" label msg;
+      exit 1
+    | e ->
+      Printf.eprintf "FLEET CAMPAIGN FAILURE (%s): %s\n" label (Printexc.to_string e);
+      exit 1
+  in
+  let s1 = guarded "first run" in
+  let s2 = guarded "second run" in
+  Printf.printf
+    "fleet campaign: %d host(s), %d round(s), seed %d\n\
+    \  adversary: %d crash(es), %d restart(s), %d partition(s), %d heal(s), %d lossy channel(s) \
+     (%d cleared), %d submit(s), %d revoke(s)\n\
+    \  controller: %d decision(s), %d tenant(s) placed after quiesce\n\
+    \  invariants: all tenants placed, no false failover, exactly one backing placement each\n"
+    hosts s1.fl_rounds seed s1.fl_crashes s1.fl_restarts s1.fl_partitions s1.fl_heals
+    s1.fl_loss_injects s1.fl_loss_clears s1.fl_submits s1.fl_revokes s1.fl_decisions s1.fl_placed;
+  if s1 <> s2 then begin
+    Printf.eprintf
+      "DETERMINISM FAILURE: identical seeds diverged (run1: %d decisions, fp 0x%016Lx, digest \
+       0x%016Lx; run2: %d decisions, fp 0x%016Lx, digest 0x%016Lx)\n"
+      s1.fl_decisions s1.fl_fp s1.fl_digest s2.fl_decisions s2.fl_fp s2.fl_digest;
+    exit 1
+  end;
+  Printf.printf "  determinism: second run from seed %d produced an identical fingerprint\n" seed
+
 let dump_trace path buf =
   Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
 
 let () =
   let seed = ref 42 and duration_ms = ref 200.0 and record_file = ref None in
   let digest_every = ref 64 and sensor_mode = ref false in
+  let fleet_mode = ref false and smoke = ref false in
+  let fleet_hosts = ref None and fleet_tenants = ref None and fleet_rounds = ref None in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest ->
+      smoke := true;
       duration_ms := 20.0;
+      parse rest
+    | "--fleet" :: rest ->
+      fleet_mode := true;
       parse rest
     | "--sensor-faults" :: rest ->
       sensor_mode := true;
@@ -289,6 +537,15 @@ let () =
     | "--duration-ms" :: v :: rest ->
       duration_ms := float_of_string v;
       parse rest
+    | "--hosts" :: v :: rest ->
+      fleet_hosts := Some (int_of_string v);
+      parse rest
+    | "--tenants" :: v :: rest ->
+      fleet_tenants := Some (int_of_string v);
+      parse rest
+    | "--rounds" :: v :: rest ->
+      fleet_rounds := Some (int_of_string v);
+      parse rest
     | "--record" :: v :: rest ->
       record_file := Some v;
       parse rest
@@ -298,6 +555,15 @@ let () =
     | a :: _ -> failwith ("fault_campaign: unknown argument " ^ a)
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !fleet_mode then begin
+    let dfl d s = if !smoke then s else d in
+    fleet_main ~seed:!seed
+      ~hosts:(Option.value ~default:(dfl 8 4) !fleet_hosts)
+      ~tenants:(Option.value ~default:(dfl 14 6) !fleet_tenants)
+      ~rounds:(Option.value ~default:(dfl 240 60) !fleet_rounds)
+      ();
+    exit 0
+  end;
   let duration = U.Units.ms !duration_ms in
   let buf1 = Buffer.create 65536 and buf2 = Buffer.create 65536 in
   let guarded buf label =

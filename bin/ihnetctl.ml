@@ -19,6 +19,7 @@ module W = Ihnet_workload
 module Mon = Ihnet_monitor
 module R = Ihnet_manager
 module Rec = Ihnet_record
+module F = Ihnet_fleet
 
 (* {1 Common options} *)
 
@@ -1073,9 +1074,117 @@ let scan_cmd =
       const run $ host_term $ load_flag $ ms $ out $ step $ diff_flag $ all_flag $ snap_a
       $ snap_b)
 
+let fleet_cmd =
+  let hosts_n =
+    Arg.(value & opt int 4 & info [ "hosts"; "n" ] ~docv:"N" ~doc:"Fleet size (hosts spawned as host0..hostN-1).")
+  in
+  let tenants_n =
+    Arg.(
+      value
+      & opt int 6
+      & info [ "tenants"; "t" ] ~docv:"T"
+          ~doc:"Tenants to place (one 2 Gb/s nic0 to socket0 pipe each).")
+  in
+  let rounds_n =
+    Arg.(value & opt int 30 & info [ "rounds"; "r" ] ~docv:"R" ~doc:"Control rounds to run.")
+  in
+  let crash_h =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "crash" ] ~docv:"HOST"
+          ~doc:"Crash $(docv) a third of the way in and restart it at two thirds.")
+  in
+  let partition_h =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "partition" ] ~docv:"HOST"
+          ~doc:"Partition $(docv) a third of the way in and heal it at two thirds.")
+  in
+  let loss_p =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "loss" ] ~docv:"P" ~doc:"Drop probability on every control channel.")
+  in
+  let seed_f = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Controller seed.") in
+  let fleet_preset =
+    Arg.(
+      value
+      & opt preset_conv Ihnet.Host.Minimal
+      & info [ "preset"; "p" ] ~docv:"PRESET"
+          ~doc:"Per-host topology (default minimal; two-socket, dgx, epyc, minimal).")
+  in
+  let decisions_flag =
+    Arg.(value & flag & info [ "decisions" ] ~doc:"Print the full decision log.")
+  in
+  let run preset hosts tenants rounds crash part loss seed show_decisions =
+    if hosts < 1 then invalid_arg "fleet: need at least one host";
+    if rounds < 1 then invalid_arg "fleet: need at least one round";
+    let t = F.Controller.create ~seed () in
+    for i = 0 to hosts - 1 do
+      F.Controller.spawn t ~preset (Printf.sprintf "host%d" i)
+    done;
+    Printf.printf "fleet: %d host(s), %d tenant(s), seed %d\n" hosts tenants seed;
+    if loss > 0.0 then begin
+      let f = { E.Chanfault.none with E.Chanfault.loss } in
+      List.iter (fun h -> F.Controller.set_chanfault t h f) (F.Controller.hosts t)
+    end;
+    for i = 1 to tenants do
+      F.Controller.submit t
+        (R.Intent.pipe ~tenant:i ~src:"nic0" ~dst:"socket0" ~rate:(U.Units.gbps 2.0))
+    done;
+    let third = max 1 (rounds / 3) in
+    F.Controller.run t ~rounds:third;
+    (match crash with
+    | None -> ()
+    | Some h ->
+      F.Controller.crash t h;
+      Printf.printf "round %d: crashed %s\n" (F.Controller.rounds t) h);
+    (match part with
+    | None -> ()
+    | Some h ->
+      F.Controller.partition t h;
+      Printf.printf "round %d: partitioned %s\n" (F.Controller.rounds t) h);
+    F.Controller.run t ~rounds:third;
+    (match crash with
+    | None -> ()
+    | Some h ->
+      F.Controller.restart t h;
+      Printf.printf "round %d: restarted %s\n" (F.Controller.rounds t) h);
+    (match part with
+    | None -> ()
+    | Some h ->
+      F.Controller.heal t h;
+      Printf.printf "round %d: healed %s\n" (F.Controller.rounds t) h);
+    if rounds - (2 * third) > 0 then F.Controller.run t ~rounds:(rounds - (2 * third));
+    Format.printf "%a" F.Controller.pp t;
+    (* digest is a pure read; print it before the roll-up, which advances
+       each host's sampler window *)
+    Printf.printf "fleet digest 0x%016Lx decisions 0x%016Lx\n" (F.Controller.digest t)
+      (F.Controller.decisions_fingerprint t);
+    if show_decisions then
+      List.iter
+        (fun d -> Printf.printf "  %s\n" (F.Controller.decision_to_string d))
+        (F.Controller.decisions t);
+    let fleet = F.Controller.collect t in
+    Format.printf "%a" Mon.Fleet.pp fleet
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run a fleet controller over N simulated hosts: placement on the least-loaded \
+          feasible host, cross-host failover, lossy control channels ($(b,--loss)), and \
+          operator-injected $(b,--crash) / $(b,--partition) faults with automatic \
+          restart/heal at two thirds of the run.")
+    Term.(
+      const run $ fleet_preset $ hosts_n $ tenants_n $ rounds_n $ crash_h $ partition_h
+      $ loss_p $ seed_f $ decisions_flag)
+
 let main_cmd =
   let doc = "operator tools for the (simulated) manageable intra-host network" in
   Cmd.group (Cmd.info "ihnetctl" ~doc ~version:"1.0.0")
-    [ topo_cmd; ping_cmd; trace_cmd; perf_cmd; dump_cmd; check_cmd; heal_cmd; heartbeat_cmd; monitor_cmd; latency_cmd; plan_cmd; report_cmd; scenario_cmd; spec_cmd; record_cmd; replay_cmd; scan_cmd; faults_cmd; bench_cmd ]
+    [ topo_cmd; ping_cmd; trace_cmd; perf_cmd; dump_cmd; check_cmd; heal_cmd; heartbeat_cmd; monitor_cmd; latency_cmd; plan_cmd; report_cmd; scenario_cmd; spec_cmd; record_cmd; replay_cmd; scan_cmd; faults_cmd; fleet_cmd; bench_cmd ]
 
 let () = exit (guarded (fun () -> Cmd.eval ~catch:false main_cmd))

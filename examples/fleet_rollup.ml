@@ -28,6 +28,7 @@ let member label ~config ~load =
     Mon.Fleet.label;
     counter = Mon.Counter.create fab ~fidelity:Mon.Counter.Oracle;
     tenants = [ 3; 4 ];
+    slo = None;
   }
 
 let () =

@@ -1,0 +1,67 @@
+module Rng = Ihnet_util.Rng
+
+type fault = {
+  loss : float;
+  delay_lo : int;
+  delay_hi : int;
+  dup_prob : float;
+  partitioned : bool;
+}
+
+let none = { loss = 0.0; delay_lo = 0; delay_hi = 0; dup_prob = 0.0; partitioned = false }
+let is_none f = f = none
+
+let check_prob name p =
+  if p < 0.0 || p > 1.0 then invalid_arg (Printf.sprintf "Chanfault: %s %f not in [0,1]" name p)
+
+let lossy ~loss ?(dup_prob = 0.0) () =
+  check_prob "loss" loss;
+  check_prob "dup_prob" dup_prob;
+  { none with loss; dup_prob }
+
+let delayed ~lo ~hi =
+  if lo < 0 || hi < lo then invalid_arg "Chanfault: delay range must satisfy 0 <= lo <= hi";
+  { none with delay_lo = lo; delay_hi = hi }
+
+let partition = { none with partitioned = true }
+
+(* independent combination for the probabilities, additive delay,
+   partition dominates — same shape as Sensorfault.merge *)
+let merge a b =
+  {
+    loss = 1.0 -. ((1.0 -. a.loss) *. (1.0 -. b.loss));
+    delay_lo = a.delay_lo + b.delay_lo;
+    delay_hi = a.delay_hi + b.delay_hi;
+    dup_prob = 1.0 -. ((1.0 -. a.dup_prob) *. (1.0 -. b.dup_prob));
+    partitioned = a.partitioned || b.partitioned;
+  }
+
+type verdict = Dropped | Delivered of { delay : int; copies : int }
+
+let apply rng f =
+  if f.partitioned then Dropped
+  else if is_none f then Delivered { delay = 0; copies = 1 }
+  else if f.loss > 0.0 && Rng.float rng 1.0 < f.loss then Dropped
+  else begin
+    let delay =
+      if f.delay_hi = 0 then 0
+      else if f.delay_hi = f.delay_lo then f.delay_lo
+      else f.delay_lo + Rng.int rng (f.delay_hi - f.delay_lo + 1)
+    in
+    let copies = if f.dup_prob > 0.0 && Rng.float rng 1.0 < f.dup_prob then 2 else 1 in
+    Delivered { delay; copies }
+  end
+
+let describe f =
+  if f.partitioned then "partitioned"
+  else if is_none f then "healthy"
+  else
+    let parts =
+      (if f.loss > 0.0 then [ Printf.sprintf "loss %.0f%%" (100.0 *. f.loss) ] else [])
+      @ (if f.delay_hi > 0 then
+           [ Printf.sprintf "delay %d-%d round(s)" f.delay_lo f.delay_hi ]
+         else [])
+      @
+      if f.dup_prob > 0.0 then [ Printf.sprintf "dup %.0f%%" (100.0 *. f.dup_prob) ] else []
+    in
+    String.concat ", " parts

@@ -19,6 +19,7 @@ let all =
     ("E17", E17_remediation.run);
     ("E18", E18_sensor_trust.run);
     ("E19", E19_tail_latency.run);
+    ("E20", E20_fleet_failover.run);
     ("A1", Ablations.run_a1);
     ("A2", Ablations.run_a2);
     ("A3", Ablations.run_a3);

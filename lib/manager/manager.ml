@@ -12,6 +12,9 @@ type error = Mgr_error.t =
   | Capacity_exhausted of { tenant : int; rate : float; best_ratio : float }
   | Not_a_pipe
   | No_alternate_path
+  | Host_unreachable of string
+  | Retries_exhausted of { host : string; command : string }
+  | No_feasible_host of { tenant : int }
 
 let error_to_string = Mgr_error.to_string
 let pp_error = Mgr_error.pp

@@ -22,9 +22,12 @@ type error = Mgr_error.t =
   | Capacity_exhausted of { tenant : int; rate : float; best_ratio : float }
   | Not_a_pipe
   | No_alternate_path
-      (** Everything admission and re-placement can refuse, re-exported
-          from {!Mgr_error} so callers can match on the cause instead of
-          parsing message strings. *)
+  | Host_unreachable of string
+  | Retries_exhausted of { host : string; command : string }
+  | No_feasible_host of { tenant : int }
+      (** Everything admission, re-placement, and the fleet controller
+          can refuse, re-exported from {!Mgr_error} so callers can match
+          on the cause instead of parsing message strings. *)
 
 val error_to_string : error -> string
 (** Byte-identical to the messages of the old stringly API. *)

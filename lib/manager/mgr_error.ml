@@ -8,6 +8,9 @@ type t =
   | Capacity_exhausted of { tenant : int; rate : float; best_ratio : float }
   | Not_a_pipe
   | No_alternate_path
+  | Host_unreachable of string
+  | Retries_exhausted of { host : string; command : string }
+  | No_feasible_host of { tenant : int }
 
 (* The strings are the exact messages the stringly API used to return,
    so anything that logged or displayed them is unchanged. *)
@@ -25,5 +28,11 @@ let to_string = function
       (rate /. 1e9) (best_ratio *. 100.0)
   | Not_a_pipe -> "only pipe placements can be re-placed"
   | No_alternate_path -> "no alternate pathway clears the degraded link(s)"
+  | Host_unreachable host ->
+    Printf.sprintf "host %s unreachable: control channel timed out" host
+  | Retries_exhausted { host; command } ->
+    Printf.sprintf "retries exhausted sending %s to host %s" command host
+  | No_feasible_host { tenant } ->
+    Printf.sprintf "tenant %d: no host in the fleet can admit the placement" tenant
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)

@@ -26,6 +26,16 @@ type t =
   | No_alternate_path
       (** No candidate pathway clears the degraded link(s) during
           re-placement. *)
+  | Host_unreachable of string
+      (** Fleet controller: the host's control channel timed out
+          (crash or partition); commands cannot be confirmed. *)
+  | Retries_exhausted of { host : string; command : string }
+      (** Fleet controller: a command was retried to its bound (with
+          exponential backoff) and never acknowledged. *)
+  | No_feasible_host of { tenant : int }
+      (** Fleet controller: no reachable host in the fleet
+          admission-checks the tenant's placement — the fleet-level
+          [Degraded] verdict carries this cause. *)
 
 val to_string : t -> string
 (** Human-readable message; byte-identical to the pre-typed API. *)

@@ -1,7 +1,12 @@
 module Fabric = Ihnet_engine.Fabric
 module U = Ihnet_util
 
-type member = { label : string; counter : Counter.t; tenants : int list }
+type member = {
+  label : string;
+  counter : Counter.t;
+  tenants : int list;
+  slo : (unit -> int * int) option;
+}
 
 type host_status = {
   label : string;
@@ -10,6 +15,8 @@ type host_status = {
   worst_utilization : float;
   config_findings : string list;
   tail : U.Sketch.snapshot option;
+  slo_degraded : int;
+  slo_violated : int;
 }
 
 type t = { at_wall : int; hosts : host_status list; fleet_tail : U.Sketch.snapshot option }
@@ -26,6 +33,9 @@ let status_of m =
     | [] -> 0.0
     | c :: _ -> c.Health.utilization
   in
+  let slo_degraded, slo_violated =
+    match m.slo with None -> (0, 0) | Some probe -> probe ()
+  in
   {
     label = m.label;
     health;
@@ -34,6 +44,8 @@ let status_of m =
     config_findings =
       Anomaly.check_configuration (Fabric.topology (Counter.fabric m.counter));
     tail = Option.map U.Sketch.snapshot (host_tail m);
+    slo_degraded;
+    slo_violated;
   }
 
 (* Fleet-wide tail latency: every member's end-to-end flow sketch
@@ -54,8 +66,12 @@ let fleet_tail members =
     Some (U.Sketch.snapshot acc)
 
 let severity s =
-  (* congestion dominates; misconfigurations break ties *)
-  (float_of_int s.congested_links *. 10.0)
+  (* a violated SLO outranks any congestion picture (a tail-sick host
+     must surface even when no link is congested); within one verdict
+     tier congestion dominates and misconfigurations break ties *)
+  (float_of_int s.slo_violated *. 100.0)
+  +. (float_of_int s.slo_degraded *. 20.0)
+  +. (float_of_int s.congested_links *. 10.0)
   +. s.worst_utilization
   +. float_of_int (List.length s.config_findings)
 
@@ -72,7 +88,11 @@ let collect ?(round = 0) members =
   { at_wall = round; hosts; fleet_tail = fleet_tail members }
 
 let needs_attention t =
-  List.filter (fun s -> s.congested_links > 0 || s.config_findings <> []) t.hosts
+  List.filter
+    (fun s ->
+      s.congested_links > 0 || s.config_findings <> [] || s.slo_degraded > 0
+      || s.slo_violated > 0)
+    t.hosts
 
 let pp ppf t =
   Format.fprintf ppf "fleet round %d: %d host(s), %d need attention@." t.at_wall
@@ -85,12 +105,18 @@ let pp ppf t =
   | None -> ());
   List.iter
     (fun s ->
-      Format.fprintf ppf "  %-16s congested=%d worst=%.0f%% findings=%d%t@." s.label
+      Format.fprintf ppf "  %-16s congested=%d worst=%.0f%% findings=%d%t%t@." s.label
         s.congested_links
         (s.worst_utilization *. 100.0)
         (List.length s.config_findings)
         (fun ppf ->
+          if s.slo_degraded > 0 || s.slo_violated > 0 then
+            Format.fprintf ppf " slo=%d degraded/%d violated" s.slo_degraded
+              s.slo_violated)
+        (fun ppf ->
           match s.tail with
-          | Some tl -> Format.fprintf ppf " flow.p99=%.0fns" tl.U.Sketch.s_p99
+          | Some tl ->
+            Format.fprintf ppf " flow p50=%.0fns p99=%.0fns p999=%.0fns"
+              tl.U.Sketch.s_p50 tl.U.Sketch.s_p99 tl.U.Sketch.s_p999
           | None -> ()))
     t.hosts

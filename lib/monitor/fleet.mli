@@ -15,6 +15,11 @@ type member = {
   label : string;  (** Operator-facing host name ("rack3-node07"). *)
   counter : Counter.t;
   tenants : int list;  (** Tenants to attribute on that host. *)
+  slo : (unit -> int * int) option;
+      (** SLO probe: returns [(degraded, violated)] intent counts for
+          this host, typically [Slo.check] behind a closure (the monitor
+          layer cannot depend on the manager, so the verdicts arrive
+          pre-counted). [None] = no SLO plane on that host. *)
 }
 
 type host_status = {
@@ -26,6 +31,8 @@ type host_status = {
   tail : Ihnet_util.Sketch.snapshot option;
       (** End-to-end flow-latency percentiles from the host's always-on
           sketch plane; [None] while the plane is dormant or empty. *)
+  slo_degraded : int;  (** Intents currently [Degraded] on this host. *)
+  slo_violated : int;  (** Intents with a violated bound (e.g. p99). *)
 }
 
 type t = {
@@ -44,6 +51,8 @@ val collect : ?round:int -> member list -> t
     makes the merged percentiles bit-identical under any grouping. *)
 
 val needs_attention : t -> host_status list
-(** Hosts with congested links or config findings, worst first. *)
+(** Hosts with congested links, config findings, or degraded/violated
+    SLO verdicts, worst first — a tail-latency-sick host surfaces here
+    even when no link is congested. *)
 
 val pp : Format.formatter -> t -> unit

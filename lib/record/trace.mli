@@ -28,6 +28,11 @@ type digest = {
 
 val fnv_basis : int64
 val fnv_int : int64 -> int -> int64
+val fnv_int64 : int64 -> int64 -> int64
+(** Fold a full 64-bit word (byte at a time) — what the fleet
+    controller uses to chain per-host {!Scanport} digests into one
+    fleet fingerprint. *)
+
 val fnv_float : int64 -> float -> int64
 val fnv_string : int64 -> string -> int64
 

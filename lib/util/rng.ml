@@ -17,6 +17,15 @@ let split t = { state = bits64 t }
 let copy t = { state = t.state }
 let peek t = t.state
 
+(* The i-th derived stream is a function of (seed, i) alone — unlike
+   [split] it does not advance any shared generator, so stream i is the
+   same no matter how many siblings exist or in what order they are
+   built. The two mix64 rounds decorrelate seeds and indices that
+   differ in few bits. *)
+let stream seed i =
+  if i < 0 then invalid_arg "Rng.stream: negative index";
+  { state = mix64 (Int64.add (mix64 (Int64.of_int seed)) (Int64.mul golden_gamma (Int64.of_int (i + 1)))) }
+
 let int t n =
   assert (n > 0);
   (* keep 62 bits so the value is a non-negative OCaml int *)

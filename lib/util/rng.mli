@@ -20,6 +20,13 @@ val split : t -> t
 val copy : t -> t
 (** Duplicate the current state (the copies then evolve separately). *)
 
+val stream : int -> int -> t
+(** [stream seed i] is the [i]-th independent generator derived from
+    [seed] — a pure function of [(seed, i)], unlike {!split}, which
+    advances the parent. A fleet gives host [i] the stream [i] so each
+    host's draws are identical under any sharding or creation order.
+    Requires [i >= 0]. *)
+
 val peek : t -> int64
 (** Current internal state, read without advancing the stream — the
     scan port's view of the generator. Two generators with equal

@@ -72,6 +72,22 @@ expect faults 0 \
   '^trace .*: [0-9]+ link fault\(s\), [0-9]+ sensor fault\(s\) active at end$' \
   "$CTL" faults "$tmp/e5.trace.jsonl"
 
+expect fleet 0 \
+  '^fleet: 3 host\(s\), 4 tenant\(s\), seed 42$' \
+  "$CTL" fleet --hosts 3 --tenants 4 --rounds 24
+expect_any fleet-crash-failover 0 \
+  '^  migrate tenant [0-9]+ host1 -> host[0-9]+ \(host-down\)$' \
+  "$CTL" fleet --hosts 3 --tenants 4 --rounds 24 --crash host1 --decisions
+expect_any fleet-reconcile 0 \
+  '^  reconcile host0: revoke stray tenant\(s\) [0-9]+' \
+  "$CTL" fleet --hosts 3 --tenants 3 --rounds 24 --partition host0 --decisions
+expect_any fleet-digest 0 \
+  '^fleet digest 0x[0-9a-f]{16} decisions 0x[0-9a-f]{16}$' \
+  "$CTL" fleet --hosts 2 --tenants 2 --rounds 12
+expect_any fleet-unknown-host 1 \
+  '^ihnetctl: Fleet.Controller: unknown host "nope"$' \
+  "$CTL" fleet --hosts 2 --rounds 12 --crash nope
+
 cat >"$tmp/base.json" <<'EOF'
 { "subjects": { "probe": 100.0 } }
 EOF

@@ -485,6 +485,7 @@ let fleet_tests =
             Mon.Fleet.label;
             counter = Mon.Counter.create fab ~fidelity:Mon.Counter.Oracle;
             tenants = [ 3 ];
+            slo = None;
           }
         in
         let fleet =

@@ -175,7 +175,7 @@ let fleet_member ?(busy = false) label =
     ignore (E.Fabric.start_flow fab ~tenant:1 ~path:(path fab "nic0" "socket0")
               ~size:E.Flow.Unbounded ());
   ignore sim;
-  { Fleet.label; counter = Counter.create fab ~fidelity:Counter.Software; tenants = [ 1 ] }
+  { Fleet.label; counter = Counter.create fab ~fidelity:Counter.Software; tenants = [ 1 ]; slo = None }
 
 let fleet_tests =
   [
@@ -596,7 +596,7 @@ let sketch_member label values =
   (match E.Fabric.flow_latency_sketch fab with
   | Some sk -> List.iter (U.Sketch.record sk) values
   | None -> Alcotest.fail "sketch plane missing");
-  { Fleet.label; counter = Counter.create fab ~fidelity:Counter.Software; tenants = [ 1 ] }
+  { Fleet.label; counter = Counter.create fab ~fidelity:Counter.Software; tenants = [ 1 ]; slo = None }
 
 let latency_plane_tests =
   [
