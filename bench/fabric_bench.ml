@@ -32,6 +32,7 @@ module M = Ihnet_manager
 module Mon = Ihnet_monitor
 module Rec = Ihnet_record
 module F = Ihnet_fleet
+module Api = Ihnet_api
 
 let usage () =
   prerr_endline "usage: fabric_bench [--smoke] [-o FILE] [--subject NAME]...";
@@ -575,6 +576,87 @@ let bench_fleet_churn () =
       incr next;
       F.Controller.round t)
 
+(* {1 daemon-cmds-4: the wire command plane}
+
+   One in-process ihnetd server with four connected clients; each op
+   pushes a Flow_start from every client through the full wire path
+   (encode, frame, select loop, batched ingestion, typed reply) and
+   then the four matching Flow_stops. Measures command-plane overhead
+   — framing, JSON codecs, the select loop and per-tick batching — on
+   top of mutations whose raw fabric cost flow-churn already tracks. *)
+
+let bench_daemon_cmds () =
+  let module C = Api.Command in
+  let module Resp = Api.Response in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ihnetd-bench-%d.sock" (Unix.getpid ()))
+  in
+  let srv = Api.Server.create (Api.Handlers.local (Api.Host_spec.make ~seed:11 ())) path in
+  let pump () = ignore (Api.Server.step ~timeout:0.0 srv) in
+  let conns =
+    Array.init 4 (fun _ ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd)
+  in
+  (* clients and server share this thread, so drive the select loop by
+     hand until every client has a reply waiting *)
+  let await_replies () =
+    let fds = Array.to_list conns in
+    let rec go n =
+      if n > 10_000 then failwith "daemon-cmds-4: daemon never replied";
+      let ready, _, _ = Unix.select fds [] [] 0.0 in
+      if List.length ready < Array.length conns then begin
+        pump ();
+        go (n + 1)
+      end
+    in
+    go 0
+  in
+  let exchange cmd_of check =
+    Array.iteri (fun i fd -> Api.Wire.write_frame fd (C.to_json (cmd_of i))) conns;
+    await_replies ();
+    Array.map
+      (fun fd ->
+        match Api.Wire.read_frame fd with
+        | None -> failwith "daemon-cmds-4: connection closed"
+        | Some j -> (
+          match Resp.of_json j with
+          | Ok r -> check r
+          | Error e -> failwith ("daemon-cmds-4: bad reply: " ^ e)))
+      conns
+  in
+  ignore
+    (exchange
+       (fun _ -> C.Hello { version = C.version })
+       (function Resp.Hello_ok _ -> 0 | _ -> failwith "daemon-cmds-4: bad hello"));
+  let tenant = ref 0 in
+  let ops =
+    time_ops (fun () ->
+        let flows =
+          exchange
+            (fun i ->
+              incr tenant;
+              C.Flow_start
+                {
+                  tenant = !tenant;
+                  src = "ext";
+                  dst = (if i mod 2 = 0 then "socket0" else "socket1");
+                  gbps = Some 1.0;
+                })
+            (function
+              | Resp.Flow_ok { flow } -> flow | _ -> failwith "daemon-cmds-4: flow refused")
+        in
+        ignore
+          (exchange
+             (fun i -> C.Flow_stop { flow = flows.(i) })
+             (function Resp.Err _ -> failwith "daemon-cmds-4: stop refused" | _ -> 0)))
+  in
+  Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) conns;
+  Api.Server.stop srv;
+  ops
+
 let () =
   let subjects =
     [
@@ -606,6 +688,7 @@ let () =
       ("scanport-idle", bench_scanport_idle);
       ("fleet-idle", bench_fleet_idle);
       ("fleet-churn-1k", bench_fleet_churn);
+      ("daemon-cmds-4", bench_daemon_cmds);
     ]
   in
   let subjects =

@@ -73,8 +73,10 @@ type stats = {
   floors : (int * float) list;
 }
 
-let run_campaign ?trace_buf ?(digest_every = 64) ?(sensor_mode = false) ~seed ~duration () =
-  let host = Ihnet.Host.create ~seed Ihnet.Host.Two_socket in
+let run_campaign ?trace_buf ?(digest_every = 64) ?(sensor_mode = false) ?(preset = Ihnet.Host.Two_socket) ~seed ~duration () =
+  (* the one shared host-construction path (Ihnet_api.Host_spec), same
+     as ihnetctl/ihnetd *)
+  let host = Ihnet_api.Host_spec.create_host (Ihnet_api.Host_spec.make ~preset ~seed ()) in
   let fab = Ihnet.Host.fabric host in
   let sim = Ihnet.Host.sim host in
   (* flight recorder first, while the host is still flowless: any

@@ -2,6 +2,13 @@
    network: topology inspection, ihping/ihtrace/ihperf/ihdump
    diagnostics, configuration checking and heartbeat runs.
 
+   Every diagnostic subcommand is a thin front-end over the typed
+   command plane (Ihnet_api): it builds one Ihnet_api.Command, executes
+   it — against a fresh in-process host by default, or against a live
+   ihnetd over a Unix socket with --connect — and renders the typed
+   response. Trace tooling (record/replay/faults/bench) and the
+   self-contained fleet campaign stay local.
+
    Examples:
      dune exec bin/ihnetctl.exe -- topo --preset dgx
      dune exec bin/ihnetctl.exe -- ping nic0 dimm0.0.0 -c 20
@@ -9,37 +16,27 @@
      dune exec bin/ihnetctl.exe -- perf gpu0 ssd0
      dune exec bin/ihnetctl.exe -- check --ddio off --mps 128
      dune exec bin/ihnetctl.exe -- dump nic0 pciesw0 --load
-     dune exec bin/ihnetctl.exe -- heartbeat --degrade rp0.0:pciesw0 *)
+     dune exec bin/ihnetctl.exe -- heartbeat --degrade rp0.0:pciesw0
+     dune exec bin/ihnetctl.exe -- stats --connect /tmp/ihnet.sock *)
 
 open Cmdliner
 module E = Ihnet_engine
 module T = Ihnet_topology
 module U = Ihnet_util
-module W = Ihnet_workload
 module Mon = Ihnet_monitor
 module R = Ihnet_manager
 module Rec = Ihnet_record
 module F = Ihnet_fleet
+module Api = Ihnet_api
+module C = Ihnet_api.Command
 
 (* {1 Common options} *)
 
 let preset_conv =
-  let parse = function
-    | "two-socket" -> Ok Ihnet.Host.Two_socket
-    | "dgx" -> Ok Ihnet.Host.Dgx
-    | "epyc" -> Ok Ihnet.Host.Epyc
-    | "minimal" -> Ok Ihnet.Host.Minimal
-    | s -> Error (`Msg (Printf.sprintf "unknown preset %S (two-socket|dgx|epyc|minimal)" s))
+  let parse s =
+    match Api.Host_spec.preset_of_name s with Ok p -> Ok p | Error e -> Error (`Msg e)
   in
-  let print ppf p =
-    Format.pp_print_string ppf
-      (match p with
-      | Ihnet.Host.Two_socket -> "two-socket"
-      | Ihnet.Host.Dgx -> "dgx"
-      | Ihnet.Host.Epyc -> "epyc"
-      | Ihnet.Host.Minimal -> "minimal"
-      | Ihnet.Host.Custom _ -> "custom")
-  in
+  let print ppf p = Format.pp_print_string ppf (Api.Host_spec.preset_name p) in
   Arg.conv (parse, print)
 
 let preset =
@@ -82,44 +79,31 @@ let domains_flag =
           "Run fabric reallocation on $(docv) OCaml domains (default: \\$IHNET_DOMAINS, else 1). \
            Results are bit-identical for every width; >1 only changes wall-clock time.")
 
-let build_config ddio iommu mps =
-  let c = T.Hostconfig.default in
-  let c =
-    match ddio with
-    | Some false -> { c with T.Hostconfig.ddio = T.Hostconfig.Ddio_off }
-    | Some true | None -> c
-  in
-  let c =
-    match iommu with
-    | Some false -> { c with T.Hostconfig.iommu = T.Hostconfig.Iommu_off }
-    | Some true | None -> c
-  in
-  match mps with Some m -> { c with T.Hostconfig.pcie_mps = m } | None -> c
-
-let load_spec_file path =
-  let ic = open_in path in
-  let n = in_channel_length ic in
-  let text = really_input_string ic n in
-  close_in ic;
-  match T.Spec.parse text with
-  | Ok topo -> topo
-  | Error e ->
-    Printf.eprintf "%s: %s\n" path e;
-    exit 2
-
-let make_host preset topo_file ddio iommu mps domains =
+let make_spec preset topo_file ddio iommu mps domains =
   let preset =
     match topo_file with
-    | Some path -> Ihnet.Host.Custom (load_spec_file path)
     | None -> preset
+    | Some path -> (
+      match Api.Host_spec.load_topo_file path with
+      | Ok topo -> Ihnet.Host.Custom topo
+      | Error e ->
+        Printf.eprintf "%s: %s\n" path e;
+        exit 2)
   in
-  Ihnet.Host.create ~config:(build_config ddio iommu mps) ?domains preset
+  Api.Host_spec.make ~preset ?ddio ?iommu ?mps ?domains ()
 
-let config_term = Term.(const build_config $ ddio_flag $ iommu_flag $ mps_flag)
-
-let host_term =
+let spec_term =
   Term.(
-    const make_host $ preset $ topo_file_flag $ ddio_flag $ iommu_flag $ mps_flag $ domains_flag)
+    const make_spec $ preset $ topo_file_flag $ ddio_flag $ iommu_flag $ mps_flag $ domains_flag)
+
+let connect_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCK"
+        ~doc:
+          "Run the command against a live ihnetd listening on this Unix-domain socket instead \
+           of a fresh in-process host.")
 
 let src_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"SRC")
 let dst_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"DST")
@@ -129,164 +113,75 @@ let dst_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"DST")
 let load_flag =
   Arg.(value & flag & info [ "load" ] ~doc:"Add background load (loopback + trainer) first.")
 
-let apply_load host load =
-  if load then begin
-    let fab = Ihnet.Host.fabric host in
-    (try ignore (W.Rdma.start_loopback fab ~tenant:8 ~nic:"nic0" ()) with Invalid_argument _ -> ());
-    (try
-       ignore
-         (W.Mltrain.start fab
-            {
-              (W.Mltrain.default_config ~tenant:9 ~gpu:"gpu0" ~data_source:"dimm0.0.0") with
-              W.Mltrain.compute_time = 0.0;
-            })
-     with Invalid_argument _ -> ());
-    Ihnet.Host.run_for host (U.Units.ms 2.0)
-  end
-
 (* user errors (unknown devices, bad specs) exit with a message, not a
-   backtrace *)
+   backtrace; typed wire errors exit with their documented code *)
 let guarded f =
   try f () with
+  | Api.Api_error.Error e ->
+    Printf.eprintf "ihnetctl: %s\n" (Api.Api_error.message e);
+    exit (Api.Api_error.exit_code e)
   | Invalid_argument msg | Failure msg ->
     Printf.eprintf "ihnetctl: %s\n" msg;
     exit 1
+
+(* {1 Command execution: in-process or over the wire} *)
+
+let exec ?on_event spec connect cmd =
+  match connect with
+  | None -> Api.Handlers.run (Api.Handlers.local spec) cmd
+  | Some path ->
+    let c = Api.Client.connect path in
+    Fun.protect
+      ~finally:(fun () -> Api.Client.close c)
+      (fun () -> Api.Client.call ?on_event c cmd)
+
+let show spec connect cmd =
+  let r = exec spec connect cmd in
+  Api.Render.print r;
+  let code = Api.Render.exit_code r in
+  if code <> 0 then exit code
 
 (* {1 Subcommands} *)
 
 let topo_cmd =
   let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of a summary.") in
-  let run host dot =
-    let topo = Ihnet.Host.topology host in
-    if dot then print_string (T.Topology.to_dot topo)
-    else begin
-      print_endline (T.Topology.summary topo);
-      Format.printf "config: %a@." T.Hostconfig.pp (T.Topology.config topo);
-      List.iter
-        (fun (l : T.Link.t) ->
-          let name id = (T.Topology.device topo id).T.Device.name in
-          Format.printf "  link %-2d %-18s %-10s <-> %-10s %a %a@." l.T.Link.id
-            (T.Link.kind_label l.T.Link.kind) (name l.T.Link.a) (name l.T.Link.b)
-            U.Units.pp_rate l.T.Link.capacity U.Units.pp_time l.T.Link.base_latency)
-        (T.Topology.links topo)
-    end
-  in
-  Cmd.v (Cmd.info "topo" ~doc:"Show the host topology.") Term.(const run $ host_term $ dot)
+  let run spec connect dot = show spec connect (C.Topo { dot }) in
+  Cmd.v (Cmd.info "topo" ~doc:"Show the host topology.")
+    Term.(const run $ spec_term $ connect_flag $ dot)
 
 let ping_cmd =
   let count = Arg.(value & opt int 10 & info [ "c"; "count" ] ~docv:"N" ~doc:"Probes to send.") in
-  let run host load src dst count =
-    apply_load host load;
-    let report =
-      Mon.Diagnostics.ping (Ihnet.Host.fabric host) ~src ~dst ~count
-        ~interval:(U.Units.us 100.0) ()
-    in
-    Ihnet.Host.run_for host (U.Units.ms (0.2 *. float_of_int count));
-    Format.printf "ihping %s <-> %s: %d sent, %d lost@." src dst report.Mon.Diagnostics.sent
-      report.Mon.Diagnostics.lost;
-    let r = report.Mon.Diagnostics.rtts in
-    if U.Histogram.count r > 0 then
-      Format.printf "rtt min/p50/p99/max = %a / %a / %a / %a@." U.Units.pp_time
-        (U.Histogram.min_value r) U.Units.pp_time
-        (U.Histogram.percentile r 0.5)
-        U.Units.pp_time
-        (U.Histogram.percentile r 0.99)
-        U.Units.pp_time (U.Histogram.max_value r)
-  in
+  let run spec connect load src dst count = show spec connect (C.Ping { src; dst; count; load }) in
   Cmd.v
     (Cmd.info "ping" ~doc:"Probe RTT between two devices (ihping).")
-    Term.(const run $ host_term $ load_flag $ src_arg $ dst_arg $ count)
+    Term.(const run $ spec_term $ connect_flag $ load_flag $ src_arg $ dst_arg $ count)
 
 let trace_cmd =
-  let run host load src dst =
-    apply_load host load;
-    Printf.printf "ihtrace %s -> %s:\n" src dst;
-    List.iter
-      (fun (h : Mon.Diagnostics.trace_hop) ->
-        Format.printf "  -> %-12s %-18s class %-4s base %a, now %a (util %.0f%%)@."
-          h.Mon.Diagnostics.hop_device h.Mon.Diagnostics.link_kind
-          (match h.Mon.Diagnostics.figure1_class with
-          | Some c -> Printf.sprintf "(%d)" c
-          | None -> "-")
-          U.Units.pp_time h.Mon.Diagnostics.base_latency U.Units.pp_time
-          h.Mon.Diagnostics.loaded_latency
-          (h.Mon.Diagnostics.utilization *. 100.0))
-      (Mon.Diagnostics.trace (Ihnet.Host.fabric host) ~src ~dst)
-  in
+  let run spec connect load src dst = show spec connect (C.Path_trace { src; dst; load }) in
   Cmd.v
     (Cmd.info "trace" ~doc:"Hop-by-hop latency decomposition (ihtrace).")
-    Term.(const run $ host_term $ load_flag $ src_arg $ dst_arg)
+    Term.(const run $ spec_term $ connect_flag $ load_flag $ src_arg $ dst_arg)
 
 let perf_cmd =
-  let run host load src dst =
-    apply_load host load;
-    let fab = Ihnet.Host.fabric host in
-    let done_ = ref false in
-    Mon.Diagnostics.perf fab ~src ~dst ~duration:(U.Units.ms 10.0)
-      ~on_done:(fun r ->
-        done_ := true;
-        Format.printf "ihperf %s -> %s: %a over %a (%a)@." src dst U.Units.pp_bytes
-          r.Mon.Diagnostics.bytes_moved U.Units.pp_time r.Mon.Diagnostics.duration
-          U.Units.pp_rate r.Mon.Diagnostics.achieved_rate;
-        match r.Mon.Diagnostics.bottleneck with
-        | Some (link, u) ->
-          let topo = Ihnet.Host.topology host in
-          let l = T.Topology.link topo link in
-          let name id = (T.Topology.device topo id).T.Device.name in
-          Format.printf "bottleneck: %s-%s at %.0f%%@." (name l.T.Link.a) (name l.T.Link.b)
-            (u *. 100.0)
-        | None -> ())
-      ();
-    Ihnet.Host.run_for host (U.Units.ms 11.0);
-    if not !done_ then prerr_endline "perf did not complete (simulation stalled?)"
-  in
+  let run spec connect load src dst = show spec connect (C.Perf { src; dst; load }) in
   Cmd.v
     (Cmd.info "perf" ~doc:"Measure achievable bandwidth (ihperf).")
-    Term.(const run $ host_term $ load_flag $ src_arg $ dst_arg)
+    Term.(const run $ spec_term $ connect_flag $ load_flag $ src_arg $ dst_arg)
 
 let dump_cmd =
-  let run host load a b =
-    apply_load host load;
-    let topo = Ihnet.Host.topology host in
-    let dev n =
-      match T.Topology.device_by_name topo n with
-      | Some d -> d.T.Device.id
-      | None -> failwith ("no device " ^ n)
-    in
-    match T.Topology.links_between topo (dev a) (dev b) with
-    | [] -> Printf.eprintf "no link between %s and %s\n" a b
-    | l :: _ ->
-      Printf.printf "ihdump on link %s-%s:\n" a b;
-      List.iter
-        (fun (c : Mon.Diagnostics.captured_flow) ->
-          Format.printf "  flow#%-4d tenant %-3d %-11s %-10s -> %-10s %a@."
-            c.Mon.Diagnostics.flow_id c.Mon.Diagnostics.tenant c.Mon.Diagnostics.cls
-            c.Mon.Diagnostics.src_dev c.Mon.Diagnostics.dst_dev U.Units.pp_rate
-            c.Mon.Diagnostics.rate)
-        (Mon.Diagnostics.dump (Ihnet.Host.fabric host) ~link:l.T.Link.id ())
-  in
+  let run spec connect load a b = show spec connect (C.Dump { a; b; load }) in
   Cmd.v
     (Cmd.info "dump" ~doc:"Capture the flows crossing a link (ihdump).")
-    Term.(const run $ host_term $ load_flag $ src_arg $ dst_arg)
+    Term.(const run $ spec_term $ connect_flag $ load_flag $ src_arg $ dst_arg)
 
 let check_cmd =
-  let run preset config =
-    let topo =
-      match preset with
-      | Ihnet.Host.Two_socket -> T.Builder.two_socket_server ~config ()
-      | Ihnet.Host.Dgx -> T.Builder.dgx_like ~config ()
-      | Ihnet.Host.Epyc -> T.Builder.epyc_like ~config ()
-      | Ihnet.Host.Minimal | Ihnet.Host.Custom _ -> T.Builder.minimal ~config ()
-    in
-    match Mon.Anomaly.check_configuration topo with
-    | [] -> print_endline "configuration clean: no findings"
-    | findings ->
-      List.iter (Printf.printf "finding: %s\n") findings;
-      exit 1
+  let run preset ddio iommu mps connect =
+    let spec = Api.Host_spec.make ~preset ?ddio ?iommu ?mps () in
+    show spec connect C.Check
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Static misconfiguration checks.")
-    Term.(const run $ preset $ config_term)
+    Term.(const run $ preset $ ddio_flag $ iommu_flag $ mps_flag $ connect_flag)
 
 let heartbeat_cmd =
   let degrade =
@@ -296,42 +191,10 @@ let heartbeat_cmd =
       & info [ "degrade" ] ~docv:"DEVA:DEVB"
           ~doc:"Silently degrade the link between two devices mid-run.")
   in
-  let run host degrade =
-    let fab = Ihnet.Host.fabric host in
-    let topo = Ihnet.Host.topology host in
-    let hb = Ihnet.Host.start_heartbeats host () in
-    Ihnet.Host.run_for host (U.Units.ms 10.0);
-    (match degrade with
-    | Some (a, b) -> (
-      let dev n =
-        match T.Topology.device_by_name topo n with
-        | Some d -> d.T.Device.id
-        | None -> failwith ("no device " ^ n)
-      in
-      match T.Topology.links_between topo (dev a) (dev b) with
-      | l :: _ ->
-        Printf.printf "[injecting +5 us on %s-%s]\n" a b;
-        E.Fabric.inject_fault fab l.T.Link.id
-          { E.Fault.capacity_factor = 1.0; extra_latency = U.Units.us 5.0; loss_prob = 0.0 }
-      | [] -> failwith "no such link")
-    | None -> ());
-    Ihnet.Host.run_for host (U.Units.ms 10.0);
-    Printf.printf "rounds: %d, failing pairs: %d\n" (Mon.Heartbeat.rounds hb)
-      (List.length (Mon.Heartbeat.failing_pairs hb));
-    (match Mon.Heartbeat.first_detection hb with
-    | Some at -> Format.printf "first detection at %a@." U.Units.pp_time at
-    | None -> print_endline "no anomaly detected");
-    List.iter
-      (fun (s : Mon.Heartbeat.suspect) ->
-        let l = T.Topology.link topo s.Mon.Heartbeat.link in
-        let name id = (T.Topology.device topo id).T.Device.name in
-        Printf.printf "suspect: %s-%s (score %.2f)\n" (name l.T.Link.a) (name l.T.Link.b)
-          s.Mon.Heartbeat.score)
-      (Mon.Heartbeat.localize hb)
-  in
+  let run spec connect degrade = show spec connect (C.Heartbeat { degrade }) in
   Cmd.v
     (Cmd.info "heartbeat" ~doc:"Run the heartbeat mesh; optionally inject a silent fault.")
-    Term.(const run $ host_term $ degrade)
+    Term.(const run $ spec_term $ connect_flag $ degrade)
 
 let heal_cmd =
   let gbps =
@@ -367,89 +230,15 @@ let heal_cmd =
   let ms =
     Arg.(value & opt float 20.0 & info [ "ms" ] ~docv:"MS" ~doc:"Milliseconds to let the loop run.")
   in
-  let run host src dst gbps fault_link factor silent flap ms =
-    let fab = Ihnet.Host.fabric host in
-    let topo = Ihnet.Host.topology host in
-    let mgr = Ihnet.Host.enable_manager host () in
-    let rate = U.Units.gbps gbps in
-    let p =
-      match R.Manager.submit mgr (R.Intent.pipe ~tenant:1 ~src ~dst ~rate) with
-      | Ok [ p ] -> p
-      | Ok _ -> failwith "expected one placement"
-      | Error e -> failwith ("intent rejected: " ^ R.Manager.error_to_string e)
-    in
-    let f =
-      E.Fabric.start_flow fab ~tenant:1 ~demand:rate ~path:p.R.Placement.path
-        ~size:E.Flow.Unbounded ()
-    in
-    ignore (R.Manager.attach mgr f);
-    let config =
-      { R.Remediation.default_config with R.Remediation.use_fault_events = not silent }
-    in
-    let rem =
-      Ihnet.Host.enable_remediation host ~config
-        ~wiring:{ Ihnet.Host.default_wiring with Ihnet.Host.heartbeat = silent }
-        ()
-    in
-    (* heartbeat needs warm-up rounds to learn RTT baselines *)
-    Ihnet.Host.run_for host (U.Units.ms (if silent then 10.0 else 2.0));
-    let tenant_rate () =
-      E.Fabric.refresh fab;
-      List.fold_left
-        (fun acc (g : E.Flow.t) ->
-          if g.E.Flow.tenant = 1 && g.E.Flow.cls = E.Flow.Payload then acc +. g.E.Flow.rate
-          else acc)
-        0.0 (E.Fabric.active_flows fab)
-    in
-    let pre = tenant_rate () in
-    let bad =
-      match fault_link with
-      | Some (a, b) -> (
-        let dev n =
-          match T.Topology.device_by_name topo n with
-          | Some d -> d.T.Device.id
-          | None -> failwith ("no device " ^ n)
-        in
-        match T.Topology.links_between topo (dev a) (dev b) with
-        | l :: _ -> l.T.Link.id
-        | [] -> failwith "no such link")
-      | None -> (
-        match p.R.Placement.path.T.Path.hops with
-        | _ :: h :: _ | [ h ] -> h.T.Path.link.T.Link.id
-        | [] -> failwith "victim path has no hops")
-    in
-    let l = T.Topology.link topo bad in
-    let name id = (T.Topology.device topo id).T.Device.name in
-    let fault = E.Fault.degrade ~capacity_factor:factor () in
-    (match flap with
-    | Some n ->
-      Printf.printf "[flapping %s-%s x%d at 1 ms]\n" (name l.T.Link.a) (name l.T.Link.b) n;
-      E.Fabric.flap_link fab bad fault ~period:(U.Units.ms 1.0) ~toggles:n
-    | None ->
-      Printf.printf "[degrading %s-%s to %.0f%% capacity%s]\n" (name l.T.Link.a)
-        (name l.T.Link.b) (factor *. 100.0)
-        (if silent then ", silently" else "");
-      E.Fabric.inject_fault fab bad fault);
-    let t0 = Ihnet.Host.now host in
-    Ihnet.Host.run_for host (U.Units.ms ms);
-    let post = tenant_rate () in
-    Format.printf "victim: %a guaranteed, %a before fault, %a after the loop@." U.Units.pp_rate
-      rate U.Units.pp_rate pre U.Units.pp_rate post;
-    (match R.Remediation.time_to_detect rem bad ~since:t0 with
-    | Some d -> Format.printf "time-to-detect: %a@." U.Units.pp_time d
-    | None -> print_endline "time-to-detect: (case not opened)");
-    (match R.Remediation.time_to_recover rem bad with
-    | Some d -> Format.printf "time-to-recover: %a@." U.Units.pp_time d
-    | None -> print_endline "time-to-recover: (not recovered)");
-    Format.printf "%a" R.Remediation.pp_status rem;
-    print_endline "timeline:";
-    Format.printf "%a" R.Remediation.pp_timeline rem;
-    Format.printf "%a" R.Slo.pp (R.Slo.check mgr)
+  let run spec connect src dst gbps fault factor silent flap ms =
+    show spec connect (C.Heal { src; dst; gbps; fault; factor; silent; flap; ms })
   in
   Cmd.v
     (Cmd.info "heal"
        ~doc:"Inject a fault on a guaranteed pipe and watch the remediation loop recover it.")
-    Term.(const run $ host_term $ src_arg $ dst_arg $ gbps $ fault_link $ factor $ silent $ flap $ ms)
+    Term.(
+      const run $ spec_term $ connect_flag $ src_arg $ dst_arg $ gbps $ fault_link $ factor
+      $ silent $ flap $ ms)
 
 let scenario_cmd =
   let name_arg =
@@ -469,49 +258,13 @@ let scenario_cmd =
           ~doc:"Mid-run, give tenant 1 an end-to-end guarantee of this many Gbit/s and show \
                 the before/after.")
   in
-  let run host list_only name ms protect =
-    if list_only then
-      List.iter (fun (n, d) -> Printf.printf "%-14s %s\n" n d) W.Scenario.all
-    else
-      match W.Scenario.find name with
-      | None ->
-        Printf.eprintf "unknown scenario %S; try --list\n" name;
-        exit 1
-      | Some make ->
-        let h = make (Ihnet.Host.fabric host) in
-        Printf.printf "scenario %s: %s\n" h.W.Scenario.name h.W.Scenario.describe;
-        List.iter (fun (id, role) -> Printf.printf "  tenant %d: %s\n" id role)
-          h.W.Scenario.tenants;
-        Ihnet.Host.run_for host (U.Units.ms ms);
-        Printf.printf "after %.0f ms:\n" ms;
-        List.iter (fun (k, v) -> Printf.printf "  %-22s %s\n" k v) (h.W.Scenario.metrics ());
-        (match protect with
-        | None -> ()
-        | Some gbps ->
-          let mgr = Ihnet.Host.enable_manager host () in
-          let rate = U.Units.gbps gbps in
-          let intent =
-            {
-              (R.Intent.pipe ~tenant:1 ~src:"ext" ~dst:"socket0" ~rate) with
-              R.Intent.targets =
-                [
-                  R.Intent.Pipe { src = "ext"; dst = "socket0"; rate };
-                  R.Intent.Pipe { src = "socket0"; dst = "ext"; rate };
-                ];
-            }
-          in
-          (match R.Manager.submit mgr intent with
-          | Ok _ -> Printf.printf "\n[tenant 1 protected with a %.0f Gbps pipe]\n" gbps
-          | Error e -> Printf.printf "\n[intent rejected: %s]\n" (R.Manager.error_to_string e));
-          Ihnet.Host.run_for host (U.Units.ms ms);
-          Printf.printf "after another %.0f ms under management:\n" ms;
-          List.iter (fun (k, v) -> Printf.printf "  %-22s %s\n" k v) (h.W.Scenario.metrics ());
-          Format.printf "%a" R.Slo.pp (R.Slo.check mgr));
-        h.W.Scenario.stop ()
+  let run spec connect list_only name ms protect =
+    if list_only then show spec connect C.Scenario_list
+    else show spec connect (C.Scenario { name; ms; protect })
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run a canned workload scenario and print its metrics.")
-    Term.(const run $ host_term $ list_flag $ name_arg $ ms $ protect)
+    Term.(const run $ spec_term $ connect_flag $ list_flag $ name_arg $ ms $ protect)
 
 let monitor_cmd =
   let ms =
@@ -526,58 +279,29 @@ let monitor_cmd =
       & opt (some string) None
       & info [ "series" ] ~docv:"PREFIX" ~doc:"Only dump series whose name starts with PREFIX.")
   in
-  let run host load ms period_us series_filter =
-    apply_load host load;
-    let sampler =
-      Mon.Sampler.start (Ihnet.Host.fabric host)
-        {
-          (Mon.Sampler.default_config ()) with
-          Mon.Sampler.period = U.Units.us period_us;
-          fidelity = Mon.Counter.Oracle;
-        }
-    in
-    Ihnet.Host.run_for host (U.Units.ms ms);
-    let tm = Mon.Sampler.telemetry sampler in
-    let series =
-      match series_filter with
-      | None -> None
-      | Some prefix ->
-        Some
-          (List.filter
-             (fun n ->
-               String.length n >= String.length prefix
-               && String.sub n 0 (String.length prefix) = prefix)
-             (Mon.Telemetry.series_names tm))
-    in
-    print_string (Mon.Telemetry.to_csv ?series tm);
-    Mon.Sampler.stop sampler
+  let run spec connect load ms period_us series =
+    show spec connect (C.Monitor { ms; period_us; series; load })
   in
   Cmd.v
     (Cmd.info "monitor" ~doc:"Sample the fabric for a while and dump telemetry as CSV.")
-    Term.(const run $ host_term $ load_flag $ ms $ period_us $ series_filter)
+    Term.(const run $ spec_term $ connect_flag $ load_flag $ ms $ period_us $ series_filter)
 
 let report_cmd =
   let fidelity =
     Arg.(
       value
-      & opt (enum [ ("hardware", `Hw); ("software", `Sw); ("oracle", `Oracle) ]) `Oracle
+      & opt
+          (enum
+             [
+               ("hardware", C.Fid_hardware); ("software", C.Fid_software); ("oracle", C.Fid_oracle);
+             ])
+          C.Fid_oracle
       & info [ "fidelity" ] ~docv:"LEVEL" ~doc:"Counter fidelity: hardware, software, oracle.")
   in
-  let run host load fidelity =
-    apply_load host load;
-    let fid =
-      match fidelity with
-      | `Hw -> Mon.Counter.Hardware { max_read_hz = 10_000.0 }
-      | `Sw -> Mon.Counter.Software
-      | `Oracle -> Mon.Counter.Oracle
-    in
-    let counter = Mon.Counter.create (Ihnet.Host.fabric host) ~fidelity:fid in
-    let report = Mon.Health.collect counter ~tenants:[ 1; 2; 8; 9 ] () in
-    Format.printf "%a" Mon.Health.pp report
-  in
+  let run spec connect load fidelity = show spec connect (C.Report { fidelity; load }) in
   Cmd.v
     (Cmd.info "report" ~doc:"One-shot health report (congestion, talkers, DDIO).")
-    Term.(const run $ host_term $ load_flag $ fidelity)
+    Term.(const run $ spec_term $ connect_flag $ load_flag $ fidelity)
 
 let plan_cmd =
   let pipes =
@@ -595,46 +319,381 @@ let plan_cmd =
   let headroom =
     Arg.(value & opt float 0.9 & info [ "headroom" ] ~docv:"F" ~doc:"Reservable fraction per link.")
   in
-  let run host pipes hoses headroom =
-    let topo = Ihnet.Host.topology host in
-    let intents =
-      List.mapi
-        (fun i (src, dst, gbps) ->
-          R.Intent.pipe ~tenant:(i + 1) ~src ~dst ~rate:(U.Units.gbps gbps))
-        pipes
-      @ List.mapi
-          (fun i (endpoint, in_g, out_g) ->
-            R.Intent.hose
-              ~tenant:(100 + i)
-              ~endpoint ~to_host:(U.Units.gbps in_g) ~from_host:(U.Units.gbps out_g))
-          hoses
-    in
-    if intents = [] then begin
+  let run spec connect pipes hoses headroom =
+    if pipes = [] && hoses = [] then begin
       prerr_endline "no intents given; use --pipe/--hose";
       exit 1
     end;
-    Printf.printf "deployment: %d intent(s), headroom %.0f%%\n" (List.length intents)
-      (headroom *. 100.0);
-    if R.Planner.fits topo ~headroom intents then begin
-      let s = R.Planner.max_scale topo ~headroom intents in
-      Printf.printf "fits: yes (uniform growth room: %.2fx)\n" s;
-      print_endline "hottest links after placement:";
-      List.iter
-        (fun ((l : T.Link.t), ratio) ->
-          let name id = (T.Topology.device topo id).T.Device.name in
-          Printf.printf "  %-18s %-10s - %-10s %.0f%%\n" (T.Link.kind_label l.T.Link.kind)
-            (name l.T.Link.a) (name l.T.Link.b) (ratio *. 100.0))
-        (R.Planner.bottlenecks topo ~headroom intents)
-    end
-    else begin
-      let s = R.Planner.max_scale topo ~headroom intents in
-      Printf.printf "fits: NO (would fit at %.2fx of the requested rates)\n" s;
-      exit 1
-    end
+    show spec connect (C.Plan { pipes; hoses; headroom })
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Capacity-plan a set of intents against a host.")
-    Term.(const run $ host_term $ pipes $ hoses $ headroom)
+    Term.(const run $ spec_term $ connect_flag $ pipes $ hoses $ headroom)
+
+let latency_cmd =
+  let ms =
+    Arg.(value & opt float 10.0 & info [ "ms" ] ~docv:"MS" ~doc:"Simulated milliseconds to observe.")
+  in
+  let link_flag =
+    Arg.(
+      value & flag
+      & info [ "link" ] ~doc:"Also print the per-(link, direction) percentile table.")
+  in
+  let run spec connect load link ms = show spec connect (C.Latency { link; ms; load }) in
+  Cmd.v
+    (Cmd.info "latency"
+       ~doc:
+         "Run with the always-on latency-sketch plane enabled and print percentile summaries \
+          (flow end-to-end roll-up; per-link with $(b,--link)).")
+    Term.(const run $ spec_term $ connect_flag $ load_flag $ link_flag $ ms)
+
+let scan_cmd =
+  let ms =
+    Arg.(
+      value & opt float 10.0
+      & info [ "ms" ] ~docv:"MS" ~doc:"Simulated milliseconds to run before scanning.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Save the (final) snapshot as JSON, readable back by $(b,scan --diff).")
+  in
+  let step =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "step" ] ~docv:"N"
+          ~doc:
+            "After the run, freeze the fabric and single-step up to $(docv) reallocation \
+             epochs, scanning at each boundary.")
+  in
+  let diff_flag =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Compare two saved snapshots ($(i,A) $(i,B)) instead of scanning a host; prints the \
+             first divergent register and exits 1 if they differ.")
+  in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"With $(b,--diff): also compare microarchitectural registers (warm-solver and \
+                memo counters), not just the architectural contract.")
+  in
+  let snap_a = Arg.(value & pos 0 (some file) None & info [] ~docv:"A") in
+  let snap_b = Arg.(value & pos 1 (some file) None & info [] ~docv:"B") in
+  let run spec connect load ms out step diff all a b =
+    if diff then begin
+      let path = function
+        | Some p -> p
+        | None -> failwith "scan --diff needs two snapshot files: scan --diff A B"
+      in
+      let load_snap p =
+        match Rec.Scanport.load p with Ok s -> s | Error e -> failwith e
+      in
+      let sa = load_snap (path a) and sb = load_snap (path b) in
+      let scope = if all then `All else `Arch in
+      let compared =
+        List.length
+          (List.filter
+             (fun (r : Rec.Scanport.reg) -> all || r.Rec.Scanport.rkind = `Arch)
+             sa.Rec.Scanport.s_regs)
+      in
+      match Rec.Scanport.diff ~scope sa sb with
+      | None -> Printf.printf "scan diff: identical (%d registers compared)\n" compared
+      | Some m ->
+        Format.printf "scan diff: %a@." Rec.Scanport.pp_mismatch m;
+        exit 1
+    end
+    else begin
+      let r = exec spec connect (C.Scan { ms; load; step; snapshot = out <> None }) in
+      Api.Render.print r;
+      (match (r, out) with
+      | Api.Response.Scan_report { snapshot = Some j; _ }, Some p ->
+        Rec.Scanport.save p (Rec.Scanport.of_json j);
+        Printf.printf "wrote %s\n" p
+      | _ -> ());
+      let code = Api.Render.exit_code r in
+      if code <> 0 then exit code
+    end
+  in
+  Cmd.v
+    (Cmd.info "scan"
+       ~doc:
+         "Out-of-band scan: dump the fabric's full register chain with zero impact; \
+          $(b,--step) single-steps epochs under freeze, $(b,--diff) compares two saved \
+          snapshots down to the first divergent register.")
+    Term.(
+      const run $ spec_term $ connect_flag $ load_flag $ ms $ out $ step $ diff_flag $ all_flag
+      $ snap_a $ snap_b)
+
+(* {1 Daemon-plane subcommands} *)
+
+let tenant_flag =
+  Arg.(value & opt int 1 & info [ "tenant"; "t" ] ~docv:"T" ~doc:"Tenant the operation is for.")
+
+let submit_cmd =
+  let pipes =
+    Arg.(
+      value
+      & opt_all (t3 ~sep:':' string string float) []
+      & info [ "pipe" ] ~docv:"SRC:DST:GBPS" ~doc:"A pipe target (repeatable).")
+  in
+  let hoses =
+    Arg.(
+      value
+      & opt_all (t3 ~sep:':' string float float) []
+      & info [ "hose" ] ~docv:"DEV:IN_GBPS:OUT_GBPS" ~doc:"A hose target (repeatable).")
+  in
+  let fleet =
+    Arg.(
+      value & flag
+      & info [ "fleet" ] ~doc:"Submit to the fleet controller (ihnetd --fleet) instead of a host.")
+  in
+  let run spec connect tenant pipes hoses fleet =
+    let targets =
+      List.map
+        (fun (src, dst, gbps) -> R.Intent.Pipe { src; dst; rate = U.Units.gbps gbps })
+        pipes
+      @ List.map
+          (fun (endpoint, in_g, out_g) ->
+            R.Intent.Hose
+              { endpoint; to_host = U.Units.gbps in_g; from_host = U.Units.gbps out_g })
+          hoses
+    in
+    if targets = [] then begin
+      prerr_endline "no targets given; use --pipe/--hose";
+      exit 1
+    end;
+    let intent =
+      { (R.Intent.pipe ~tenant ~src:"_" ~dst:"_" ~rate:1.0) with R.Intent.targets }
+    in
+    show spec connect (if fleet then C.Fleet_submit intent else C.Submit intent)
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a tenant intent for admission and placement; typed manager refusals come back \
+          with their own exit codes.")
+    Term.(const run $ spec_term $ connect_flag $ tenant_flag $ pipes $ hoses $ fleet)
+
+let flow_cmd =
+  let gbps =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "gbps" ] ~docv:"GBPS" ~doc:"Demand cap (default: unbounded best-effort).")
+  in
+  let stop =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stop" ] ~docv:"ID" ~doc:"Stop flow $(docv) instead of starting one.")
+  in
+  let src = Arg.(value & pos 0 (some string) None & info [] ~docv:"SRC") in
+  let dst = Arg.(value & pos 1 (some string) None & info [] ~docv:"DST") in
+  let run spec connect tenant gbps stop src dst =
+    match stop with
+    | Some flow -> show spec connect (C.Flow_stop { flow })
+    | None -> (
+      match (src, dst) with
+      | Some src, Some dst -> show spec connect (C.Flow_start { tenant; src; dst; gbps })
+      | _ -> failwith "flow needs SRC and DST (or --stop ID)")
+  in
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:
+         "Start a best-effort flow between two devices (or $(b,--stop) one) — consecutive flow \
+          and fault commands arriving at a daemon in one tick share a single reallocation epoch.")
+    Term.(const run $ spec_term $ connect_flag $ tenant_flag $ gbps $ stop $ src $ dst)
+
+let fault_cmd =
+  let factor =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "factor" ] ~docv:"F" ~doc:"Capacity factor (0 = link down, 1 = unchanged).")
+  in
+  let extra_us =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "latency" ] ~docv:"US" ~doc:"Extra per-crossing latency, microseconds.")
+  in
+  let loss =
+    Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc:"Loss probability.")
+  in
+  let clear =
+    Arg.(value & flag & info [ "clear" ] ~doc:"Clear the fault on the link instead.")
+  in
+  let clear_all =
+    Arg.(value & flag & info [ "clear-all" ] ~doc:"Clear every link fault.")
+  in
+  let pair =
+    Arg.(value & pos 0 (some (pair ~sep:':' string string)) None & info [] ~docv:"DEVA:DEVB")
+  in
+  let run spec connect factor extra_us loss clear clear_all pair =
+    if clear_all then show spec connect C.Faults_clear_all
+    else
+      match pair with
+      | None -> failwith "fault needs a DEVA:DEVB link (or --clear-all)"
+      | Some (a, b) ->
+        if clear then show spec connect (C.Fault_clear { a; b })
+        else show spec connect (C.Fault_inject { a; b; factor; extra_us; loss })
+  in
+  Cmd.v
+    (Cmd.info "fault" ~doc:"Inject (or clear) a link fault by device pair.")
+    Term.(
+      const run $ spec_term $ connect_flag $ factor $ extra_us $ loss $ clear $ clear_all $ pair)
+
+let run_cmd =
+  let ms =
+    Arg.(value & opt float 1.0 & info [ "ms" ] ~docv:"MS" ~doc:"Simulated milliseconds to run.")
+  in
+  let run spec connect ms = show spec connect (C.Run_for { ms }) in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Advance the (daemon's) simulated clock.")
+    Term.(const run $ spec_term $ connect_flag $ ms)
+
+let stats_cmd =
+  let run spec connect = show spec connect C.Stats in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"One-line daemon status: clock, epoch, flows, clients, commands.")
+    Term.(const run $ spec_term $ connect_flag)
+
+let watch_cmd =
+  let stream =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("telemetry", C.S_telemetry);
+               ("decisions", C.S_decisions);
+               ("evidence", C.S_evidence);
+             ])
+          C.S_telemetry
+      & info [ "stream" ] ~docv:"NAME" ~doc:"Stream to subscribe to: telemetry, decisions, evidence.")
+  in
+  let events =
+    Arg.(
+      value
+      & opt int (-1)
+      & info [ "events"; "n" ] ~docv:"N"
+          ~doc:"Stop after $(docv) events (default: until the daemon closes the stream).")
+  in
+  let run connect stream events =
+    match connect with
+    | None -> failwith "watch needs --connect (there is no stream on an in-process host)"
+    | Some path ->
+      let c = Api.Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Api.Client.close c)
+        (fun () ->
+          (match Api.Client.call c (C.Subscribe stream) with
+          | Api.Response.Ack -> ()
+          | r ->
+            Api.Render.print r;
+            exit (Api.Render.exit_code r));
+          let rec loop n =
+            if n <> 0 then
+              match Api.Client.next_event c with
+              | None -> ()
+              | Some ev ->
+                Api.Render.print (Api.Response.Event ev);
+                loop (n - 1)
+          in
+          loop events)
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Subscribe to a daemon event stream and print frames as they arrive.")
+    Term.(const run $ connect_flag $ stream $ events)
+
+let shutdown_cmd =
+  let run spec connect =
+    match connect with
+    | None -> failwith "shutdown needs --connect"
+    | Some _ -> show spec connect C.Shutdown
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Ask the daemon to flush, close every client and exit.")
+    Term.(const run $ spec_term $ connect_flag)
+
+let fleetctl_cmd =
+  let spawn =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "spawn" ] ~docv:"NAME" ~doc:"Spawn a host into the fleet (repeatable).")
+  in
+  let spawn_preset =
+    Arg.(
+      value
+      & opt string "minimal"
+      & info [ "spawn-preset" ] ~docv:"PRESET" ~doc:"Preset for spawned hosts.")
+  in
+  let tenants =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "tenants" ] ~docv:"T"
+          ~doc:"Submit $(docv) standard tenants (one 2 Gb/s nic0 to socket0 pipe each).")
+  in
+  let rounds =
+    Arg.(value & opt int 0 & info [ "run" ] ~docv:"R" ~doc:"Control rounds to run.")
+  in
+  let crash =
+    Arg.(value & opt (some string) None & info [ "crash" ] ~docv:"HOST" ~doc:"Crash a host.")
+  in
+  let restart =
+    Arg.(value & opt (some string) None & info [ "restart" ] ~docv:"HOST" ~doc:"Restart a host.")
+  in
+  let partition =
+    Arg.(
+      value & opt (some string) None & info [ "partition" ] ~docv:"HOST" ~doc:"Partition a host.")
+  in
+  let heal =
+    Arg.(value & opt (some string) None & info [ "heal" ] ~docv:"HOST" ~doc:"Heal a partition.")
+  in
+  let status =
+    Arg.(value & flag & info [ "status" ] ~doc:"Print the fleet roll-up afterwards.")
+  in
+  let decisions =
+    Arg.(value & flag & info [ "decisions" ] ~doc:"With --status: include the decision log.")
+  in
+  let run connect spawn preset tenants rounds crash restart partition heal status decisions =
+    match connect with
+    | None -> failwith "fleetctl needs --connect (start ihnetd --fleet)"
+    | Some _ ->
+      let step cmd = show Api.Host_spec.default connect cmd in
+      List.iter (fun name -> step (C.Fleet_spawn { name; preset })) spawn;
+      for i = 1 to tenants do
+        step
+          (C.Fleet_submit
+             (R.Intent.pipe ~tenant:i ~src:"nic0" ~dst:"socket0" ~rate:(U.Units.gbps 2.0)))
+      done;
+      Option.iter (fun host -> step (C.Fleet_fault { host; what = C.F_crash })) crash;
+      Option.iter (fun host -> step (C.Fleet_fault { host; what = C.F_partition })) partition;
+      if rounds > 0 then step (C.Fleet_run { rounds });
+      Option.iter (fun host -> step (C.Fleet_fault { host; what = C.F_restart })) restart;
+      Option.iter (fun host -> step (C.Fleet_fault { host; what = C.F_heal })) heal;
+      if status then step (C.Fleet_status { decisions })
+  in
+  Cmd.v
+    (Cmd.info "fleetctl"
+       ~doc:
+         "Drive a fleet-mode daemon: spawn hosts, submit tenants, inject crash/partition \
+          faults, run control rounds and print the roll-up.")
+    Term.(
+      const run $ connect_flag $ spawn $ spawn_preset $ tenants $ rounds $ crash $ restart
+      $ partition $ heal $ status $ decisions)
+
+(* {1 Local-only subcommands: trace tooling and the fleet campaign} *)
 
 let spec_cmd =
   let run () = print_string T.Spec.example in
@@ -918,162 +977,6 @@ let bench_cmd =
           on a regression beyond the tolerance (the CI bench-regression smoke step).")
     Term.(const run $ current $ baseline $ tolerance $ only)
 
-let latency_cmd =
-  let ms =
-    Arg.(value & opt float 10.0 & info [ "ms" ] ~docv:"MS" ~doc:"Simulated milliseconds to observe.")
-  in
-  let link_flag =
-    Arg.(
-      value & flag
-      & info [ "link" ] ~doc:"Also print the per-(link, direction) percentile table.")
-  in
-  let run host load link ms =
-    let fab = Ihnet.Host.fabric host in
-    E.Fabric.enable_latency_sketches fab;
-    apply_load host load;
-    Ihnet.Host.run_for host (U.Units.ms ms);
-    (match E.Fabric.flow_latency_sketch fab with
-    | Some sk when U.Sketch.count sk > 0 ->
-      Format.printf "flow end-to-end latency: %a@." U.Sketch.pp sk
-    | Some _ | None ->
-      print_endline
-        "flow end-to-end latency: no completed flows observed (try --load or a longer --ms)");
-    if link then begin
-      let topo = Ihnet.Host.topology host in
-      let name id = (T.Topology.device topo id).T.Device.name in
-      Format.printf "%-4s %-24s %-4s %8s %10s %10s %10s %10s@." "link" "route" "dir" "n" "p50"
-        "p99" "p999" "max";
-      List.iter
-        (fun (l : T.Link.t) ->
-          List.iter
-            (fun (dir, label) ->
-              match E.Fabric.link_latency_sketch fab l.T.Link.id dir with
-              | Some sk when U.Sketch.count sk > 0 ->
-                let s = U.Sketch.snapshot sk in
-                Format.printf "%-4d %-24s %-4s %8d %10s %10s %10s %10s@." l.T.Link.id
-                  (Printf.sprintf "%s<->%s" (name l.T.Link.a) (name l.T.Link.b))
-                  label s.U.Sketch.s_count
-                  (Format.asprintf "%a" U.Units.pp_time s.U.Sketch.s_p50)
-                  (Format.asprintf "%a" U.Units.pp_time s.U.Sketch.s_p99)
-                  (Format.asprintf "%a" U.Units.pp_time s.U.Sketch.s_p999)
-                  (Format.asprintf "%a" U.Units.pp_time s.U.Sketch.s_max)
-              | Some _ | None -> ())
-            [ (T.Link.Fwd, "fwd"); (T.Link.Rev, "rev") ])
-        (T.Topology.links topo)
-    end
-  in
-  Cmd.v
-    (Cmd.info "latency"
-       ~doc:
-         "Run with the always-on latency-sketch plane enabled and print percentile summaries \
-          (flow end-to-end roll-up; per-link with $(b,--link)).")
-    Term.(const run $ host_term $ load_flag $ link_flag $ ms)
-
-let scan_cmd =
-  let ms =
-    Arg.(
-      value & opt float 10.0
-      & info [ "ms" ] ~docv:"MS" ~doc:"Simulated milliseconds to run before scanning.")
-  in
-  let out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "o"; "output" ] ~docv:"FILE"
-          ~doc:"Save the (final) snapshot as JSON, readable back by $(b,scan --diff).")
-  in
-  let step =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "step" ] ~docv:"N"
-          ~doc:
-            "After the run, freeze the fabric and single-step up to $(docv) reallocation \
-             epochs, scanning at each boundary.")
-  in
-  let diff_flag =
-    Arg.(
-      value & flag
-      & info [ "diff" ]
-          ~doc:
-            "Compare two saved snapshots ($(i,A) $(i,B)) instead of scanning a host; prints the \
-             first divergent register and exits 1 if they differ.")
-  in
-  let all_flag =
-    Arg.(
-      value & flag
-      & info [ "all" ]
-          ~doc:"With $(b,--diff): also compare microarchitectural registers (warm-solver and \
-                memo counters), not just the architectural contract.")
-  in
-  let snap_a = Arg.(value & pos 0 (some file) None & info [] ~docv:"A") in
-  let snap_b = Arg.(value & pos 1 (some file) None & info [] ~docv:"B") in
-  let run host load ms out step diff all a b =
-    if diff then begin
-      let path = function
-        | Some p -> p
-        | None -> failwith "scan --diff needs two snapshot files: scan --diff A B"
-      in
-      let load_snap p =
-        match Rec.Scanport.load p with Ok s -> s | Error e -> failwith e
-      in
-      let sa = load_snap (path a) and sb = load_snap (path b) in
-      let scope = if all then `All else `Arch in
-      let compared =
-        List.length
-          (List.filter
-             (fun (r : Rec.Scanport.reg) -> all || r.Rec.Scanport.rkind = `Arch)
-             sa.Rec.Scanport.s_regs)
-      in
-      match Rec.Scanport.diff ~scope sa sb with
-      | None -> Printf.printf "scan diff: identical (%d registers compared)\n" compared
-      | Some m ->
-        Format.printf "scan diff: %a@." Rec.Scanport.pp_mismatch m;
-        exit 1
-    end
-    else begin
-      apply_load host load;
-      Ihnet.Host.run_for host (U.Units.ms ms);
-      let snap = Ihnet.Host.scan host in
-      Printf.printf "scan: epoch %d, %d registers, digest 0x%016Lx\n"
-        snap.Rec.Scanport.s_epoch
-        (List.length snap.Rec.Scanport.s_regs)
-        snap.Rec.Scanport.s_digest;
-      (match step with
-      | None -> ()
-      | Some n ->
-        let fz = Rec.Scanport.freeze (Ihnet.Host.fabric host) in
-        let stepped = ref 0 and live = ref true in
-        while !live && !stepped < n do
-          if Rec.Scanport.step fz 1 = 1 then begin
-            incr stepped;
-            let s = Ihnet.Host.scan host in
-            Printf.printf "step %d: epoch %d, digest 0x%016Lx\n" !stepped
-              s.Rec.Scanport.s_epoch s.Rec.Scanport.s_digest
-          end
-          else live := false
-        done;
-        if !stepped < n then
-          Printf.printf "event queue drained after %d epoch(s)\n" !stepped;
-        Rec.Scanport.thaw fz);
-      match out with
-      | None -> ()
-      | Some p ->
-        let final = Ihnet.Host.scan host in
-        Rec.Scanport.save p final;
-        Printf.printf "wrote %s\n" p
-    end
-  in
-  Cmd.v
-    (Cmd.info "scan"
-       ~doc:
-         "Out-of-band scan: dump the fabric's full register chain with zero impact; \
-          $(b,--step) single-steps epochs under freeze, $(b,--diff) compares two saved \
-          snapshots down to the first divergent register.")
-    Term.(
-      const run $ host_term $ load_flag $ ms $ out $ step $ diff_flag $ all_flag $ snap_a
-      $ snap_b)
-
 let fleet_cmd =
   let hosts_n =
     Arg.(value & opt int 4 & info [ "hosts"; "n" ] ~docv:"N" ~doc:"Fleet size (hosts spawned as host0..hostN-1).")
@@ -1185,6 +1088,6 @@ let fleet_cmd =
 let main_cmd =
   let doc = "operator tools for the (simulated) manageable intra-host network" in
   Cmd.group (Cmd.info "ihnetctl" ~doc ~version:"1.0.0")
-    [ topo_cmd; ping_cmd; trace_cmd; perf_cmd; dump_cmd; check_cmd; heal_cmd; heartbeat_cmd; monitor_cmd; latency_cmd; plan_cmd; report_cmd; scenario_cmd; spec_cmd; record_cmd; replay_cmd; scan_cmd; faults_cmd; fleet_cmd; bench_cmd ]
+    [ topo_cmd; ping_cmd; trace_cmd; perf_cmd; dump_cmd; check_cmd; heal_cmd; heartbeat_cmd; monitor_cmd; latency_cmd; plan_cmd; report_cmd; scenario_cmd; spec_cmd; record_cmd; replay_cmd; scan_cmd; faults_cmd; fleet_cmd; bench_cmd; submit_cmd; flow_cmd; fault_cmd; run_cmd; stats_cmd; watch_cmd; shutdown_cmd; fleetctl_cmd ]
 
 let () = exit (guarded (fun () -> Cmd.eval ~catch:false main_cmd))

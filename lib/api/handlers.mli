@@ -1,0 +1,49 @@
+(** Command execution against a live target.
+
+    The ~15 subcommand bodies that used to live inline in
+    [bin/ihnetctl.ml], carved out as pure [command -> response]
+    handlers over one {!target}. The CLI runs them on an in-process
+    host (historical behavior); [ihnetd] runs them on its long-lived
+    host or fleet controller. Either way the data that comes back is
+    the same, and {!Render} reproduces the historical output from it
+    byte-for-byte. *)
+
+type target =
+  | Host of Ihnet.Host.t
+  | Fleet of Ihnet_fleet.Controller.t
+
+type t
+
+val create :
+  ?recorder:Ihnet_record.Recorder.t -> spec:Host_spec.t -> target -> t
+(** [recorder], when the target session is being recorded, lets the
+    handlers wire remediation actions into the trace
+    ({!Ihnet_record.Recorder.observe_remediation}) the moment
+    remediation is first enabled. *)
+
+val local : Host_spec.t -> t
+(** Build the host from the spec and wrap it — the CLI's in-process
+    path. *)
+
+val target : t -> target
+val spec : t -> Host_spec.t
+val host : t -> Ihnet.Host.t option
+val fleet : t -> Ihnet_fleet.Controller.t option
+
+val commands : t -> int
+(** Commands executed so far (for [Stats]). *)
+
+val set_clients : t -> int -> unit
+(** The daemon's live-connection count, surfaced in [Stats]. *)
+
+val run : t -> Command.t -> Response.t
+(** Execute one command. Never raises: [Invalid_argument]/[Failure]
+    from lower layers and typed manager refusals come back as
+    [Response.Err] with the {!Api_error} taxonomy. [Hello], [Subscribe]
+    and [Shutdown] get their trivial replies here ([Hello_ok] / [Ack] /
+    [Bye]); the transport-level behavior (version check, stream
+    registration, connection teardown) is the server's. *)
+
+val telemetry_sample : t -> Response.event option
+(** One [Ev_telemetry] snapshot of the host fabric, built from the
+    pure [scan_*] reads — [None] in fleet mode. *)

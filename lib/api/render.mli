@@ -1,0 +1,21 @@
+(** CLI presentation of {!Response}s.
+
+    [ihnetctl]'s historical output, reproduced byte-for-byte from the
+    typed payloads — the same renderer runs whether the response came
+    from an in-process host or off an [ihnetd] socket, which is what
+    makes the two transports indistinguishable at the terminal.
+
+    Stdout/stderr targeting, [Printf] vs [Format] interleaving, and
+    every format string are copied from the pre-extraction
+    [bin/ihnetctl.ml] so the CLI smoke expectations keep passing
+    unchanged. *)
+
+val print : Response.t -> unit
+(** Print the response the way the old subcommand body did. Does not
+    exit; pair with {!exit_code}. *)
+
+val exit_code : Response.t -> int
+(** The documented exit status for the response: 0 on success;
+    {!Api_error.exit_code} for [Err]; 1 for non-empty check findings,
+    a plan that does not fit, and an unknown scenario (all historical
+    behavior). *)

@@ -1,0 +1,172 @@
+(** Typed responses to {!Command}s, and the streamed event frames.
+
+    Each response carries the {e data} a command produced; the
+    presentation lives in {!Render}, which reproduces the historical
+    [ihnetctl] output byte-for-byte from these payloads. Where a
+    payload is the rendering of a library pretty-printer (remediation
+    timelines, SLO reports, health reports, fleet summaries), the
+    handler pre-renders it host-side and the response carries the
+    string — those are views, not state, and the daemon is the only
+    side holding the objects.
+
+    Responses round-trip over {!Ihnet_record.Trace}'s JSON model
+    exactly: [of_json (to_json r) = Ok r], floats (including
+    [inf]/[nan]) by IEEE-754 bits, digests as full [int64]s. *)
+
+type link_row = {
+  l_id : int;
+  l_kind : string;
+  l_a : string;
+  l_b : string;
+  l_capacity : float;
+  l_latency : float;
+}
+
+type trace_hop = {
+  h_device : string;
+  h_kind : string;
+  h_class : int option;
+  h_base : float;
+  h_loaded : float;
+  h_util : float;
+}
+
+type dump_row = {
+  f_id : int;
+  f_tenant : int;
+  f_cls : string;
+  f_src : string;
+  f_dst : string;
+  f_rate : float;
+}
+
+type suspect_row = { su_a : string; su_b : string; su_score : float }
+
+type sketch_row = {
+  lr_id : int;
+  lr_route : string;
+  lr_dir : string;
+  lr_count : int;
+  lr_p50 : float;
+  lr_p99 : float;
+  lr_p999 : float;
+  lr_max : float;
+}
+
+type bottleneck_row = { bn_kind : string; bn_a : string; bn_b : string; bn_ratio : float }
+
+type heal_info = {
+  he_banner : string;  (** The "[degrading ...]" / "[flapping ...]" line. *)
+  he_rate : float;
+  he_pre : float;
+  he_post : float;
+  he_ttd : float option;
+  he_ttr : float option;
+  he_status : string;  (** Pre-rendered {!Ihnet_manager.Remediation.pp_status}. *)
+  he_timeline : string;  (** Pre-rendered {!Ihnet_manager.Remediation.pp_timeline}. *)
+  he_slo : string;  (** Pre-rendered {!Ihnet_manager.Slo.pp}. *)
+}
+
+type protect_info = {
+  pr_note : string;  (** The "[tenant 1 protected ...]" / rejection line. *)
+  pr_ms : float;
+  pr_metrics : (string * string) list;
+  pr_slo : string;
+}
+
+type scenario_info = {
+  sc_name : string;
+  sc_describe : string;
+  sc_tenants : (int * string) list;
+  sc_ms : float;
+  sc_metrics : (string * string) list;
+  sc_protect : protect_info option;
+}
+
+type scan_step = { st_n : int; st_epoch : int; st_digest : int64 }
+
+type event =
+  | Ev_telemetry of { ev_at : float; ev_epoch : int; ev_flows : int; ev_rate : float }
+  | Ev_action of { ev_at : float; ev_link : int; ev_stage : string; ev_detail : string }
+  | Ev_evidence of { ev_at : float; ev_link : int; ev_modality : string; ev_score : float }
+
+type t =
+  | Ack
+  | Err of Api_error.t
+  | Hello_ok of { version : int; mode : string; preset : string }
+  | Event of event  (** A subscription frame, not a command reply. *)
+  | Topo_report of { summary : string; config : string; links : link_row list }
+  | Topo_dot of string
+  | Ping_report of {
+      src : string;
+      dst : string;
+      sent : int;
+      lost : int;
+      rtt : (float * float * float * float) option;  (** min/p50/p99/max. *)
+    }
+  | Trace_report of { src : string; dst : string; hops : trace_hop list }
+  | Perf_report of {
+      src : string;
+      dst : string;
+      result : (float * float * float) option;  (** bytes, duration, rate. *)
+      bottleneck : (string * string * float) option;
+    }
+  | Dump_report of { a : string; b : string; found : bool; flows : dump_row list }
+  | Check_report of string list  (** Findings; empty means clean. *)
+  | Heartbeat_report of {
+      injected : (string * string) option;
+      rounds : int;
+      failing : int;
+      first : float option;
+      suspects : suspect_row list;
+    }
+  | Heal_report of heal_info
+  | Scenario_names of (string * string) list
+  | Scenario_unknown of string
+  | Scenario_report of scenario_info
+  | Csv of string
+  | Health of string  (** Pre-rendered {!Ihnet_monitor.Health.pp}. *)
+  | Plan_report of {
+      intents : int;
+      headroom : float;
+      fits : bool;
+      scale : float;
+      bottlenecks : bottleneck_row list;
+    }
+  | Latency_report of {
+      flow : string option;  (** Pre-rendered {!Ihnet_util.Sketch.pp}, when any flow completed. *)
+      link_table : bool;
+      links : sketch_row list;
+    }
+  | Scan_report of {
+      epoch : int;
+      regs : int;
+      digest : int64;
+      steps : scan_step list;
+      drained : int option;  (** Steps completed when the queue drained early. *)
+      snapshot : Ihnet_record.Trace.json option;
+          (** Full {!Ihnet_record.Scanport} snapshot, when requested. *)
+    }
+  | Flow_ok of { flow : int }
+  | Submit_ok of { tenant : int; placements : string list }
+  | Stats_report of {
+      now : float;
+      epoch : int;
+      flows : int;
+      rate : float;
+      reallocs : int;
+      clients : int;
+      commands : int;
+    }
+  | Fleet_status_report of {
+      hosts : int;
+      rounds : int;
+      digest : int64;
+      decisions : int64;
+      text : string;  (** Pre-rendered {!Ihnet_fleet.Controller.pp}. *)
+      decision_log : string list;
+    }
+  | Bye  (** Reply to [Shutdown]. *)
+
+val to_json : t -> Ihnet_record.Trace.json
+val of_json : Ihnet_record.Trace.json -> (t, string) result

@@ -1,0 +1,92 @@
+module J = Ihnet_record.Trace
+
+let max_frame = 16 * 1024 * 1024
+
+let protocol fmt = Printf.ksprintf (fun s -> raise (Api_error.Error (Api_error.Protocol s))) fmt
+
+let encode json =
+  let payload = Bytes.of_string (J.json_to_string json) in
+  let n = Bytes.length payload in
+  if n > max_frame then protocol "frame too large (%d bytes)" n;
+  let buf = Bytes.create (4 + n) in
+  Bytes.set_int32_be buf 0 (Int32.of_int n);
+  Bytes.blit payload 0 buf 4 n;
+  buf
+
+let write_frame fd json =
+  let buf = encode json in
+  let rec push off =
+    if off < Bytes.length buf then begin
+      let w =
+        try Unix.write fd buf off (Bytes.length buf - off)
+        with Unix.Unix_error (e, _, _) -> protocol "write: %s" (Unix.error_message e)
+      in
+      if w = 0 then protocol "write: connection closed";
+      push (off + w)
+    end
+  in
+  push 0
+
+let really_read fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let r =
+        try Unix.read fd buf off len
+        with Unix.Unix_error (e, _, _) -> protocol "read: %s" (Unix.error_message e)
+      in
+      if r = 0 then protocol "read: truncated frame";
+      go (off + r) (len - r)
+    end
+  in
+  go off len
+
+let parse_payload s =
+  match J.json_of_string s with
+  | j -> j
+  | exception J.Parse_error e -> protocol "bad frame: %s" e
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  let first =
+    try Unix.read fd hdr 0 4
+    with Unix.Unix_error (e, _, _) -> protocol "read: %s" (Unix.error_message e)
+  in
+  if first = 0 then None
+  else begin
+    really_read fd hdr first (4 - first);
+    let n = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if n < 0 || n > max_frame then protocol "bad frame length %d" n;
+    let payload = Bytes.create n in
+    really_read fd payload 0 n;
+    Some (parse_payload (Bytes.unsafe_to_string payload))
+  end
+
+(* {1 Incremental reading} *)
+
+type reader = { mutable buf : Buffer.t }
+
+let reader () = { buf = Buffer.create 256 }
+
+let feed r buf n = Buffer.add_subbytes r.buf buf 0 n
+
+let pop r =
+  let len = Buffer.length r.buf in
+  if len < 4 then None
+  else begin
+    let hdr = Buffer.sub r.buf 0 4 in
+    let n =
+      Int32.to_int (Bytes.get_int32_be (Bytes.unsafe_of_string hdr) 0)
+    in
+    if n < 0 || n > max_frame then protocol "bad frame length %d" n;
+    if len < 4 + n then None
+    else begin
+      let payload = Buffer.sub r.buf 4 n in
+      let rest = Buffer.sub r.buf (4 + n) (len - 4 - n) in
+      let fresh = Buffer.create (max 256 (String.length rest)) in
+      Buffer.add_string fresh rest;
+      r.buf <- fresh;
+      Some (parse_payload payload)
+    end
+  end
+
+let pending r = Buffer.length r.buf

@@ -1,0 +1,49 @@
+(** Length-prefixed JSON framing over a stream socket.
+
+    A frame is a 4-byte big-endian payload length followed by that
+    many bytes of UTF-8 JSON ({!Ihnet_record.Trace.json_to_string}
+    output). The length covers the payload only; frames up to
+    {!max_frame} bytes are accepted, anything larger is a protocol
+    error (a corrupted or misaligned stream would otherwise ask for a
+    gigabyte allocation). *)
+
+val max_frame : int
+(** 16 MiB. *)
+
+val encode : Ihnet_record.Trace.json -> bytes
+(** The full frame (header + payload), for callers doing their own
+    buffered writes.
+    @raise Api_error.Error [(Protocol _)] when the payload exceeds
+    {!max_frame}. *)
+
+val write_frame : Unix.file_descr -> Ihnet_record.Trace.json -> unit
+(** Blocking full write.
+    @raise Api_error.Error [(Protocol _)] on a short write or closed
+    peer. *)
+
+val read_frame : Unix.file_descr -> Ihnet_record.Trace.json option
+(** Blocking full read of one frame; [None] on clean EOF at a frame
+    boundary.
+    @raise Api_error.Error [(Protocol _)] on truncation, oversized
+    frames or malformed JSON. *)
+
+(** {1 Incremental reading}
+
+    The daemon's select loop feeds whatever [read] returned into a
+    per-client {!reader}; complete frames are popped as they
+    materialize, partial ones are buffered across calls. *)
+
+type reader
+
+val reader : unit -> reader
+
+val feed : reader -> bytes -> int -> unit
+(** [feed r buf n] appends the first [n] bytes of [buf]. *)
+
+val pop : reader -> Ihnet_record.Trace.json option
+(** Next complete frame, if one is buffered.
+    @raise Api_error.Error [(Protocol _)] on malformed JSON or an
+    oversized declared frame length. *)
+
+val pending : reader -> int
+(** Bytes currently buffered (frames not yet popped included). *)

@@ -4,6 +4,7 @@
 # loudly in CI instead of silently breaking operator scripts.
 set -u
 CTL="$1"
+DAEMON="$2"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 fails=0
@@ -103,6 +104,59 @@ expect bench-compare-ok 0 \
 expect_any bench-compare-regression 1 \
   'regressed more than 30% below' \
   "$CTL" bench "$tmp/slow.json" --compare "$tmp/base.json" --tolerance 30
+
+# Daemon smoke: start ihnetd, drive it over the socket (happy paths,
+# typed wire errors with their documented exit codes), shut it down
+# cleanly, then replay the recorded session.
+dsock="$tmp/d.sock"
+dtrace="$tmp/d.trace.jsonl"
+"$DAEMON" --socket "$dsock" --trace "$dtrace" --seed 7 2>"$tmp/d.err" &
+dpid=$!
+i=0
+while [ ! -S "$dsock" ] && [ "$i" -lt 100 ]; do
+  sleep 0.05
+  i=$((i + 1))
+done
+if [ ! -S "$dsock" ]; then
+  echo "FAIL daemon-start: socket never appeared ($(cat "$tmp/d.err"))"
+  fails=$((fails + 1))
+else
+  expect daemon-topo 0 \
+    '^two-socket-server: 34 devices' \
+    "$CTL" topo --connect "$dsock"
+  expect daemon-flow 0 \
+    '^started flow [0-9]+$' \
+    "$CTL" flow ext socket0 --gbps 2 --connect "$dsock"
+  expect daemon-submit 0 \
+    '^tenant 1: [0-9]+ placement\(s\)$' \
+    "$CTL" submit -t 1 --pipe nic0:socket0:2 --connect "$dsock"
+  expect daemon-stats 0 \
+    '^now .*aggregate$' \
+    "$CTL" stats --connect "$dsock"
+  expect daemon-capacity-exhausted 16 \
+    '^ihnetctl: tenant 9: no pathway can hold ' \
+    "$CTL" submit -t 9 --pipe nic0:socket0:5000 --connect "$dsock"
+  expect daemon-wrong-mode 4 \
+    '^ihnetctl: daemon is in host mode; command unavailable$' \
+    "$CTL" fleetctl --status --connect "$dsock"
+  expect daemon-shutdown 0 \
+    '^bye$' \
+    "$CTL" shutdown --connect "$dsock"
+  wait "$dpid"
+  dstatus=$?
+  if [ "$dstatus" -ne 0 ]; then
+    echo "FAIL daemon-exit: ihnetd exited $dstatus ($(cat "$tmp/d.err"))"
+    fails=$((fails + 1))
+  else
+    echo "ok   daemon-exit"
+  fi
+  expect daemon-replay 0 \
+    '^replayed [0-9]+ command\(s\): ' \
+    "$CTL" replay "$dtrace"
+  expect_any daemon-replay-clean 0 \
+    '^no divergence$' \
+    "$CTL" replay "$dtrace"
+fi
 
 if [ "$fails" -ne 0 ]; then
   echo "$fails CLI smoke(s) failed"
